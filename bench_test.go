@@ -1,0 +1,188 @@
+// Package edgellm_test holds the benchmark harness that regenerates every
+// table and figure of the reproduced evaluation (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each benchmark prints the regenerated rows once and
+// times the regeneration:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks named BenchmarkTable*/BenchmarkFigure* map one-to-one onto the
+// experiment index; BenchmarkAblation* cover the design choices DESIGN.md
+// §5 calls out.
+package edgellm_test
+
+import (
+	"sync"
+	"testing"
+
+	"edgellm/internal/core"
+	"edgellm/internal/hwsim"
+)
+
+// benchOpts keeps the trained benchmarks affordable while preserving every
+// qualitative effect; the recorded EXPERIMENTS.md numbers use the full
+// sizes via `edgellm experiments`.
+var benchOpts = core.RunOpts{Iters: 120, MCQIters: 80, EvalBatches: 6}
+
+// printOnce prints each report a single time even when the benchmark loop
+// re-runs the experiment.
+var printed sync.Map
+
+func report(b *testing.B, r *core.Report) {
+	b.Helper()
+	if _, dup := printed.LoadOrStore(r.ID+r.Title, true); !dup {
+		b.Logf("\n%s", r.String())
+	}
+}
+
+func BenchmarkTable1MainComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentT1(benchOpts)
+		report(b, r)
+	}
+}
+
+func BenchmarkTable2LUCAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentT2(benchOpts.Iters, benchOpts.EvalBatches)
+		report(b, r)
+	}
+}
+
+func BenchmarkTable3Scheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentT3()
+		report(b, r)
+	}
+}
+
+func BenchmarkFigure1MemoryBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentF1()
+		report(b, r)
+	}
+}
+
+func BenchmarkFigure2LayerVoting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentF2(benchOpts.Iters, benchOpts.EvalBatches)
+		report(b, r)
+	}
+}
+
+func BenchmarkFigure3Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentF3(benchOpts.Iters)
+		report(b, r)
+	}
+}
+
+func BenchmarkFigure4SpeedupVsDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentF4()
+		report(b, r)
+	}
+}
+
+func BenchmarkFigure5ScheduleSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentF5()
+		report(b, r)
+	}
+}
+
+func BenchmarkFigure6DeviceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentF6()
+		report(b, r)
+	}
+}
+
+func BenchmarkFigure7BatchSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.ExperimentF7()
+		report(b, r)
+	}
+}
+
+// --- ablation benches (DESIGN.md §5) ----------------------------------------
+
+func BenchmarkAblationProbeMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.AblationProbeMetric(benchOpts.Iters, benchOpts.EvalBatches)
+		report(b, r)
+	}
+}
+
+func BenchmarkAblationPolicySearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.AblationPolicySearch()
+		report(b, r)
+	}
+}
+
+func BenchmarkAblationWindowStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.AblationWindowStrategy(benchOpts.Iters, benchOpts.EvalBatches)
+		report(b, r)
+	}
+}
+
+func BenchmarkAblationVotingMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.AblationVotingMode(benchOpts.Iters, benchOpts.EvalBatches)
+		report(b, r)
+	}
+}
+
+func BenchmarkAblationScheduleSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.AblationScheduleSearch()
+		report(b, r)
+	}
+}
+
+func BenchmarkAblationFusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.AblationFusion()
+		report(b, r)
+	}
+}
+
+func BenchmarkAblationRefine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.AblationRefine(benchOpts.Iters, benchOpts.EvalBatches)
+		report(b, r)
+	}
+}
+
+// --- kernel microbenches: real wall-clock of the hot Go kernels -------------
+
+func BenchmarkKernelScheduleSearchExhaustive(b *testing.B) {
+	dev := hwsim.EdgeGPU()
+	g := hwsim.GEMM{M: 1024, K: 2048, N: 2048, WeightBits: 4, WeightSparsity: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hwsim.SearchExhaustive(dev, g)
+	}
+}
+
+func BenchmarkKernelTuningIteration(b *testing.B) {
+	cfg := core.DefaultConfig()
+	task := core.NewTask(1, cfg.Model.Vocab)
+	p, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	calib, _ := task.Train.SequentialBatches(cfg.Batch, cfg.Seq, 1)
+	if err := p.Compress(calib[0]); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.StartTuning(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TuneStep(task.Train)
+	}
+}

@@ -1,0 +1,315 @@
+// Command edgellm is the CLI for the Edge-LLM reproduction. Subcommands:
+//
+//	experiments  regenerate the paper's tables/figures and ablations
+//	             (-t T1..T3,F1..F7,A1..A7; -quick; -markdown)
+//	demo         run the full pipeline end to end on the synthetic task
+//	schedule     search hardware schedules for one GEMM shape
+//	sensitivity  print the per-layer sensitivity profile of a fresh model
+//	train        adapt a model with the Edge-LLM pipeline, save a checkpoint
+//	generate     sample from a saved checkpoint with KV-cached decoding
+//
+// Run `edgellm <subcommand> -h` for flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"edgellm/internal/core"
+	"edgellm/internal/hwsim"
+	"edgellm/internal/nn"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "schedule":
+		err = cmdSchedule(os.Args[2:])
+	case "sensitivity":
+		err = cmdSensitivity(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "edgellm: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgellm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: edgellm <subcommand> [flags]
+
+subcommands:
+  experiments   regenerate paper tables/figures (-t <id>, -quick, -markdown)
+  demo          end-to-end pipeline demo on the synthetic task
+  schedule      hardware schedule search for one GEMM (-m -n -k -bits -sparsity)
+  sensitivity   per-layer compression sensitivity profile
+  train         adapt a model with the Edge-LLM pipeline and save a checkpoint
+  generate      sample tokens from a saved checkpoint (KV-cached decoding)`)
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	id := fs.String("t", "", "run only the experiment with this id (T1..T3, F1..F5)")
+	quick := fs.Bool("quick", false, "shrink trained experiments for a fast smoke run")
+	markdown := fs.Bool("markdown", false, "emit markdown tables")
+	fs.Parse(args)
+
+	run := func(r *core.Report) {
+		if *markdown {
+			fmt.Println(r.Markdown())
+		} else {
+			fmt.Println(r.String())
+		}
+	}
+
+	if *id != "" {
+		r, err := oneExperiment(strings.ToUpper(*id), *quick)
+		if err != nil {
+			return err
+		}
+		run(r)
+		return nil
+	}
+	start := time.Now()
+	for _, r := range core.AllExperiments(*quick) {
+		run(r)
+	}
+	fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func oneExperiment(id string, quick bool) (*core.Report, error) {
+	opts := core.DefaultRunOpts()
+	iters := 300
+	if quick {
+		opts = core.RunOpts{Iters: 30, MCQIters: 20, EvalBatches: 3, PretrainIters: 40}
+		iters = 30
+	}
+	switch id {
+	case "T1":
+		return core.ExperimentT1(opts), nil
+	case "T2":
+		return core.ExperimentT2(iters, opts.EvalBatches), nil
+	case "T3":
+		return core.ExperimentT3(), nil
+	case "F1":
+		return core.ExperimentF1(), nil
+	case "F2":
+		return core.ExperimentF2(iters, opts.EvalBatches), nil
+	case "F3":
+		return core.ExperimentF3(iters), nil
+	case "F4":
+		return core.ExperimentF4(), nil
+	case "F5":
+		return core.ExperimentF5(), nil
+	case "F6":
+		return core.ExperimentF6(), nil
+	case "F7":
+		return core.ExperimentF7(), nil
+	case "A1":
+		return core.AblationProbeMetric(iters, opts.EvalBatches), nil
+	case "A2":
+		return core.AblationPolicySearch(), nil
+	case "A3":
+		return core.AblationWindowStrategy(iters, opts.EvalBatches), nil
+	case "A4":
+		return core.AblationVotingMode(iters, opts.EvalBatches), nil
+	case "A5":
+		return core.AblationScheduleSearch(), nil
+	case "A6":
+		return core.AblationFusion(), nil
+	case "A7":
+		return core.AblationRefine(iters, opts.EvalBatches), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment id %q", id)
+	}
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	iters := fs.Int("iters", 300, "tuning iterations")
+	fs.Parse(args)
+
+	cfg := core.DefaultConfig()
+	task := core.NewTask(42, cfg.Model.Vocab)
+	fmt.Println("pretraining base model on the source domain...")
+	task.EnsureBase(cfg, 600)
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	task.ApplyBase(p.Model)
+
+	fmt.Printf("model: %d layers, dim %d, vocab %d\n", cfg.Model.Layers, cfg.Model.Dim, cfg.Model.Vocab)
+	before := p.EvalPerplexity(task.Eval, 8)
+	fmt.Printf("held-out perplexity before adaptation: %.3f\n", before)
+
+	calib, _ := task.Train.SequentialBatches(cfg.Batch, cfg.Seq, 2)
+	var flat [][]int
+	for _, b := range calib {
+		flat = append(flat, b...)
+	}
+	if err := p.Compress(flat); err != nil {
+		return err
+	}
+	fmt.Printf("LUC policy (budget %.1f bits): %s\n", cfg.BudgetBits, p.Policy.Describe(p.Candidates()))
+	fmt.Printf("achieved average effective bits: %.2f\n", p.Info.AvgEffectiveBits)
+
+	start := time.Now()
+	losses := p.Tune(task.Train, *iters)
+	fmt.Printf("adaptive tuning: %d iterations in %s (loss %.3f → %.3f)\n",
+		*iters, time.Since(start).Round(time.Millisecond), losses[0], losses[len(losses)-1])
+
+	cb, ct := task.EvalTail(cfg.Batch, cfg.Seq, 4)
+	p.FinishTuning(cb, ct)
+	after := p.EvalPerplexity(task.Eval, 8)
+	fmt.Printf("held-out perplexity after adaptation (voted): %.3f\n", after)
+
+	mem := p.Memory()
+	fmt.Printf("per-iteration memory: weights %s, activations %s, grads %s, opt %s (total %s)\n",
+		fmtB(mem.Weights), fmtB(mem.Activations), fmtB(mem.Grads), fmtB(mem.OptState), fmtB(mem.Total()))
+
+	iter := p.IterationCost(hwsim.NewSearchedScheduler())
+	fmt.Printf("simulated edge-GPU iteration latency: %.2f ms (%.1f%% util)\n",
+		iter.TotalSec*1e3, iter.Utilization(cfg.Device)*100)
+	return nil
+}
+
+func fmtB(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	m := fs.Int("m", 1024, "GEMM M (rows)")
+	n := fs.Int("n", 2048, "GEMM N (output channels)")
+	k := fs.Int("k", 2048, "GEMM K (input channels)")
+	bits := fs.Int("bits", 4, "weight bit-width")
+	sparsity := fs.Float64("sparsity", 0.5, "weight sparsity")
+	fs.Parse(args)
+
+	dev := hwsim.EdgeGPU()
+	g := hwsim.GEMM{M: *m, N: *n, K: *k, WeightBits: *bits, WeightSparsity: *sparsity}
+	st := hwsim.AnalyzeSpace(dev, g)
+	naive := hwsim.NaiveSchedule().Cost(dev, g)
+	fmt.Printf("GEMM %dx%dx%d, %d-bit weights @ %.0f%% sparsity on %s\n",
+		*m, *n, *k, *bits, *sparsity*100, dev.Name)
+	fmt.Printf("schedule space: %d fitting schedules\n", st.Count)
+	fmt.Printf("naive   : %.3f ms\n", naive.TotalSec*1e3)
+	fmt.Printf("median  : %.3f ms\n", st.MedianSec*1e3)
+	fmt.Printf("best    : %.3f ms  (%s, %.1f%% util, %.2fx over naive)\n",
+		st.BestSec*1e3, st.BestSchedule, st.BestUtil*100, naive.TotalSec/st.BestSec)
+	_, sa := hwsim.SearchAnnealed(dev, g, 1, 2000)
+	fmt.Printf("annealed: %.3f ms  (%.2fx of exhaustive best)\n", sa.TotalSec*1e3, sa.TotalSec/st.BestSec)
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	iters := fs.Int("iters", 400, "adaptive tuning iterations")
+	pretrain := fs.Int("pretrain", 600, "base pretraining iterations")
+	out := fs.String("o", "model.ckpt", "checkpoint output path")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	fs.Parse(args)
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	task := core.NewTask(*seed, cfg.Model.Vocab)
+	fmt.Printf("pretraining base (%d iters)...\n", *pretrain)
+	task.EnsureBase(cfg, *pretrain)
+
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	task.ApplyBase(p.Model)
+	calib, _ := task.Pretrain.SequentialBatches(cfg.Batch, cfg.Seq, 2)
+	var flat [][]int
+	for _, b := range calib {
+		flat = append(flat, b...)
+	}
+	if err := p.Compress(flat); err != nil {
+		return err
+	}
+	fmt.Printf("compressed: %s\n", p.Policy.Describe(p.Candidates()))
+	losses := p.Tune(task.Train, *iters)
+	fmt.Printf("tuned %d iterations: loss %.3f → %.3f\n", *iters, losses[0], losses[len(losses)-1])
+	cb, ct := task.EvalTail(cfg.Batch, cfg.Seq, 4)
+	p.FinishTuning(cb, ct)
+	fmt.Printf("target-domain perplexity: %.3f\n", p.EvalPerplexity(task.Eval, 8))
+
+	if err := p.Model.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written to %s\n", *out)
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	ckpt := fs.String("ckpt", "model.ckpt", "checkpoint path")
+	promptStr := fs.String("prompt", "1,2,3", "comma-separated prompt token ids")
+	n := fs.Int("n", 24, "tokens to generate")
+	temp := fs.Float64("temp", 0.8, "sampling temperature (0 = greedy)")
+	topK := fs.Int("topk", 0, "top-k filter (0 = off)")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.Parse(args)
+
+	m, err := nn.LoadFile(*ckpt)
+	if err != nil {
+		return err
+	}
+	var prompt []int
+	for _, part := range strings.Split(*promptStr, ",") {
+		var tok int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &tok); err != nil {
+			return fmt.Errorf("bad prompt token %q", part)
+		}
+		prompt = append(prompt, tok)
+	}
+	dec := nn.NewDecoder(m)
+	out, err := dec.Generate(prompt, nn.SampleConfig{
+		Temperature: *temp, TopK: *topK, MaxTokens: *n, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prompt:      %v\n", prompt)
+	fmt.Printf("continuation: %v\n", out[len(prompt):])
+	return nil
+}
+
+func cmdSensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	iters := fs.Int("pretrain", 200, "pretraining iterations before probing")
+	fs.Parse(args)
+	fmt.Println(core.ExperimentF3(*iters).String())
+	return nil
+}

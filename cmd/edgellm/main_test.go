@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFmtB(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+	}
+	for _, c := range cases {
+		if got := fmtB(c.n); got != c.want {
+			t.Errorf("fmtB(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestOneExperimentUnknownID(t *testing.T) {
+	if _, err := oneExperiment("T9", true); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+}
+
+func TestOneExperimentAnalyticIDs(t *testing.T) {
+	// The purely analytic experiments are cheap enough to run in a test;
+	// each must produce a non-empty report with the right id.
+	for _, id := range []string{"T3", "F1", "F4", "F5", "F6", "F7", "A2", "A5", "A6"} {
+		r, err := oneExperiment(id, true)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.ID != id || len(r.Rows) == 0 {
+			t.Fatalf("%s: bad report (id %q, %d rows)", id, r.ID, len(r.Rows))
+		}
+		if !strings.Contains(r.String(), id+":") {
+			t.Fatalf("%s: rendering lacks the id header", id)
+		}
+	}
+}

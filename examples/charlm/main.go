@@ -1,0 +1,53 @@
+// charlm adapts a language model to a synthetic character stream with all
+// four tuning methods and prints their quality/cost trade-off — the
+// workload behind Table T1, run at example scale.
+//
+//	go run ./examples/charlm
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"edgellm/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	task := core.NewTask(2024, cfg.Model.Vocab)
+	opts := core.RunOpts{Iters: 300, MCQIters: 0, EvalBatches: 10}
+
+	fmt.Println("pretraining the shared base model on the source stream...")
+	task.EnsureBase(cfg, 700)
+	fmt.Printf("adapting the %d-layer base model to a shifted Markov stream (vocab %d)\n\n",
+		cfg.Model.Layers, cfg.Model.Vocab)
+
+	type run struct {
+		name string
+		f    func() core.MethodResult
+	}
+	runs := []run{
+		{"Vanilla full fine-tuning", func() core.MethodResult { return core.RunVanillaFT(cfg, task, opts) }},
+		{"LoRA (rank 4)", func() core.MethodResult { return core.RunLoRA(cfg, task, opts, 4) }},
+		{"Layer-freeze (top-2)", func() core.MethodResult { return core.RunLayerFreeze(cfg, task, opts, 2) }},
+		{"Edge-LLM (LUC + window-2 + voting)", func() core.MethodResult { return core.RunEdgeLLM(cfg, task, opts) }},
+	}
+
+	var vanillaIter float64
+	for i, r := range runs {
+		start := time.Now()
+		res := r.f()
+		if i == 0 {
+			vanillaIter = res.IterCost.TotalSec
+		}
+		fmt.Printf("%-36s ppl %-8.3f mem %8.1f KiB  sim-iter %6.2f ms (%.2fx)  [wall %s]\n",
+			r.name, res.PPL, float64(res.Memory.Total())/1024,
+			res.IterCost.TotalSec*1e3, vanillaIter/res.IterCost.TotalSec,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("\nexpected shape: Edge-LLM approaches vanilla quality at the lowest")
+	fmt.Println("per-iteration memory and simulated latency of the four. On this mild")
+	fmt.Println("domain shift layer-freeze also scores well — but at ~25% more memory")
+	fmt.Println("and 40% more latency, and without Edge-LLM's full-depth reach.")
+}

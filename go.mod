@@ -1,0 +1,3 @@
+module edgellm
+
+go 1.22

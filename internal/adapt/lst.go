@@ -1,0 +1,115 @@
+package adapt
+
+import (
+	"fmt"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/nn"
+	"edgellm/internal/tensor"
+)
+
+// LST implements Ladder Side Tuning (Sung et al., 2022), the
+// memory-efficient PEFT baseline the Edge-LLM paper compares against: a
+// narrow side network runs alongside the frozen backbone, reading each
+// block's output through a learned down-projection and producing the final
+// prediction from the fused side state. Because the backbone is only ever
+// read — never differentiated through — backprop touches the side network
+// alone, which is what makes LST memory-cheap (and what Edge-LLM's
+// windowed tuning competes with).
+type LST struct {
+	Backbone *nn.Model
+	// Reduction is the width ratio backbone/side (e.g. 4 → side dim d/4).
+	Reduction int
+
+	sideDim int
+	// downs[i] projects block i's output into the side stream.
+	downs []*nn.Linear
+	// mixers[i] fuses the projected backbone state into the side state.
+	mixers []*nn.Linear
+	// gates[i] is a learned scalar gate per ladder rung (stored 1×1).
+	gates []*ag.Value
+	// head maps the final side state to vocab logits.
+	norm *nn.RMSNorm
+	head *nn.Linear
+	// inProj maps the embedding into the side stream.
+	inProj *nn.Linear
+}
+
+// NewLST builds a ladder side network over a frozen backbone. The caller
+// is responsible for freezing the backbone (SetAllTrainable(false)); LST
+// itself never requires backbone gradients because it detaches every
+// backbone activation it reads.
+func NewLST(m *nn.Model, g *tensor.RNG, reduction int) *LST {
+	if reduction < 1 {
+		panic(fmt.Sprintf("adapt: LST reduction %d must be ≥ 1", reduction))
+	}
+	d := m.Cfg.Dim
+	side := d / reduction
+	if side < 1 {
+		side = 1
+	}
+	l := &LST{Backbone: m, Reduction: reduction, sideDim: side}
+	l.inProj = nn.NewLinear(g, d, side, false)
+	for range m.Blocks {
+		l.downs = append(l.downs, nn.NewLinear(g, d, side, false))
+		l.mixers = append(l.mixers, nn.NewLinear(g, side, side, false))
+		l.gates = append(l.gates, ag.Param(tensor.Scalar(0.5)))
+	}
+	l.norm = nn.NewRMSNorm(side)
+	l.head = nn.NewLinear(g, side, m.Cfg.Vocab, false)
+	return l
+}
+
+// Params implements nn.Module: only side-network parameters.
+func (l *LST) Params() []nn.NamedParam {
+	var ps []nn.NamedParam
+	ps = append(ps, nn.NamedParam{Name: "lst.in.w", Value: l.inProj.W})
+	for i := range l.downs {
+		ps = append(ps, nn.NamedParam{Name: fmt.Sprintf("lst.down%d.w", i), Value: l.downs[i].W})
+		ps = append(ps, nn.NamedParam{Name: fmt.Sprintf("lst.mix%d.w", i), Value: l.mixers[i].W})
+		ps = append(ps, nn.NamedParam{Name: fmt.Sprintf("lst.gate%d", i), Value: l.gates[i]})
+	}
+	ps = append(ps, nn.NamedParam{Name: "lst.norm.gain", Value: l.norm.Gain})
+	ps = append(ps, nn.NamedParam{Name: "lst.head.w", Value: l.head.W})
+	return ps
+}
+
+// NumParams returns the side-network parameter count.
+func (l *LST) NumParams() int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.Value.Data.Len()
+	}
+	return n
+}
+
+// Logits runs the frozen backbone once, feeds each block output into the
+// ladder, and returns the side network's vocab logits. Backbone
+// activations are detached, so the recorded tape covers only side ops.
+func (l *LST) Logits(batch [][]int) *ag.Value {
+	m := l.Backbone
+	b := len(batch)
+	t := len(batch[0])
+
+	x := m.Embed(batch)
+	s := l.inProj.Forward(x.Detach())
+	for i, blk := range m.Blocks {
+		x = blk.Forward(x, b, t)
+		rung := l.downs[i].Forward(x.Detach())
+		// gated fusion: s = g·s + (1−g)·rung, then a learned mixer + SiLU.
+		g := l.gates[i]
+		gb := broadcastScalar(g, s.Shape()[0], s.Shape()[1])
+		one := ag.Const(tensor.Ones(s.Shape()[0], s.Shape()[1]))
+		s = ag.Add(ag.Mul(gb, s), ag.Mul(ag.Sub(one, gb), rung))
+		s = ag.Add(s, ag.SiLU(l.mixers[i].Forward(s)))
+	}
+	return l.head.Forward(l.norm.Forward(s))
+}
+
+// broadcastScalar expands a 1-element parameter to a (rows, cols) value so
+// it can gate a full activation tensor; gradients sum back into the scalar
+// through the two matmuls.
+func broadcastScalar(s *ag.Value, rows, cols int) *ag.Value {
+	col := ag.MatMul(ag.Const(tensor.Ones(rows, 1)), ag.Reshape(s, 1, 1)) // (rows,1)
+	return ag.MatMul(col, ag.Const(tensor.Ones(1, cols)))                 // (rows,cols)
+}

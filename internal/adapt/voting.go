@@ -1,0 +1,180 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/nn"
+	"edgellm/internal/tensor"
+)
+
+// VotingMode selects how exit-head predictions are combined at inference.
+type VotingMode int
+
+const (
+	// VoteUniform averages all participating heads' log-probabilities.
+	VoteUniform VotingMode = iota
+	// VoteCalibrated weights each head by a softmax over its negative
+	// calibration loss — heads that proved accurate on held-out data get
+	// more say. This is the "adaptive" combination of the paper.
+	VoteCalibrated
+	// VoteConfidence weights heads per input row by their own prediction
+	// confidence (maximum probability), so easy tokens lean on early
+	// exits and hard tokens on deep ones.
+	VoteConfidence
+)
+
+// String names the mode for reports.
+func (v VotingMode) String() string {
+	switch v {
+	case VoteUniform:
+		return "uniform"
+	case VoteCalibrated:
+		return "calibrated"
+	case VoteConfidence:
+		return "confidence"
+	default:
+		return fmt.Sprintf("mode(%d)", int(v))
+	}
+}
+
+// Voter combines the logits of a set of exit heads (plus, optionally, the
+// final head) into one prediction.
+type Voter struct {
+	// Exits lists participating heads as layer indices; the value
+	// len(Blocks) denotes the final head.
+	Exits []int
+	Mode  VotingMode
+	// Weights holds one calibrated weight per entry of Exits (VoteCalibrated).
+	Weights []float64
+}
+
+// FinalHead is the sentinel exit index denoting the model's final head.
+func FinalHead(m *nn.Model) int { return len(m.Blocks) }
+
+// NewVoter builds a voter over the given exits. For VoteCalibrated, call
+// Calibrate before use; until then weights are uniform.
+func NewVoter(exits []int, mode VotingMode) *Voter {
+	w := make([]float64, len(exits))
+	for i := range w {
+		w[i] = 1 / float64(len(exits))
+	}
+	return &Voter{Exits: append([]int(nil), exits...), Mode: mode, Weights: w}
+}
+
+// headLogits returns the logits of every participating head for one batch
+// with a single full forward pass.
+func (v *Voter) headLogits(m *nn.Model, batch [][]int) []*tensor.Tensor {
+	all := m.AllExitLogits(batch)
+	out := make([]*tensor.Tensor, len(v.Exits))
+	for i, e := range v.Exits {
+		if e < 0 || e >= len(all) {
+			panic(fmt.Sprintf("adapt: exit %d out of range [0,%d]", e, len(all)-1))
+		}
+		out[i] = all[e].Data
+	}
+	return out
+}
+
+// Calibrate sets VoteCalibrated weights from held-out batches: weight_h ∝
+// exp(−CE_h / temperature), normalised. temperature tempers how sharply
+// better heads dominate; 0.1–1.0 are reasonable.
+func (v *Voter) Calibrate(m *nn.Model, batches [][][]int, targets [][]int, temperature float64) {
+	if temperature <= 0 {
+		panic("adapt: calibration temperature must be positive")
+	}
+	losses := make([]float64, len(v.Exits))
+	counts := 0
+	for bi, batch := range batches {
+		heads := v.headLogits(m, batch)
+		for hi, logits := range heads {
+			ce := ag.CrossEntropy(ag.Const(logits), targets[bi], -1)
+			losses[hi] += float64(ce.Data.Data[0]) * float64(len(targets[bi]))
+		}
+		counts += len(targets[bi])
+	}
+	var sum float64
+	for i := range losses {
+		losses[i] /= float64(counts)
+		v.Weights[i] = math.Exp(-losses[i] / temperature)
+		sum += v.Weights[i]
+	}
+	for i := range v.Weights {
+		v.Weights[i] /= sum
+	}
+}
+
+// Logits returns the voter's combined prediction for a batch as
+// log-probability-shaped scores (rows, vocab). The combination is a
+// weighted sum of per-head log-softmax outputs (a weighted geometric mean
+// of the head distributions), which is exactly what likelihood-based MCQ
+// scoring and cross-entropy evaluation consume.
+func (v *Voter) Logits(m *nn.Model, batch [][]int) *ag.Value {
+	heads := v.headLogits(m, batch)
+	rows, vocab := heads[0].Rows(), heads[0].Cols()
+	out := tensor.New(rows, vocab)
+	logps := make([]*tensor.Tensor, len(heads))
+	for i, h := range heads {
+		logps[i] = logSoftmaxRows(h)
+	}
+	switch v.Mode {
+	case VoteUniform, VoteCalibrated:
+		for i, lp := range logps {
+			w := float32(v.Weights[i])
+			for j, val := range lp.Data {
+				out.Data[j] += w * val
+			}
+		}
+	case VoteConfidence:
+		// Per-row weights ∝ exp(max logprob / τ) with τ = 0.2.
+		const tau = 0.2
+		for r := 0; r < rows; r++ {
+			ws := make([]float64, len(logps))
+			var sum float64
+			for i, lp := range logps {
+				maxLP := lp.Row(r)[0]
+				for _, val := range lp.Row(r)[1:] {
+					if val > maxLP {
+						maxLP = val
+					}
+				}
+				ws[i] = math.Exp(float64(maxLP) / tau)
+				sum += ws[i]
+			}
+			outRow := out.Row(r)
+			for i, lp := range logps {
+				w := float32(ws[i] / sum)
+				for j, val := range lp.Row(r) {
+					outRow[j] += w * val
+				}
+			}
+		}
+	}
+	return ag.Const(out)
+}
+
+// logSoftmaxRows computes a numerically stable row-wise log-softmax.
+func logSoftmaxRows(t *tensor.Tensor) *tensor.Tensor {
+	r, c := t.Rows(), t.Cols()
+	out := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		row := t.Row(i)
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - m))
+		}
+		lse := float32(math.Log(sum)) + m
+		o := out.Row(i)
+		for j, v := range row {
+			o[j] = v - lse
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+// Package adapt implements Edge-LLM's adaptive layer tuning & voting
+// scheme, plus the tuning baselines it is compared against (full
+// fine-tuning, layer-freeze/"last-k" tuning, and LoRA).
+//
+// Adaptive layer tuning updates a bounded window of consecutive transformer
+// blocks per iteration and computes the loss at the early-exit head on top
+// of that window, so the autograd tape — and with it activation memory,
+// gradient memory, and optimizer state — never spans more than the window.
+// Across iterations the window moves over the depth of the network
+// according to a WindowStrategy, so every layer is eventually adapted.
+// After tuning, the trained exit heads are adaptively combined by a Voter
+// (see voting.go) to recover full-model quality at inference.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/nn"
+	"edgellm/internal/train"
+)
+
+// WindowStrategy selects which layer window is tuned at a given iteration.
+type WindowStrategy int
+
+const (
+	// StrategySliding slides the window top one layer per iteration,
+	// wrapping around — every depth is visited uniformly.
+	StrategySliding WindowStrategy = iota
+	// StrategyRoundRobin partitions the stack into ⌈L/W⌉ fixed windows and
+	// cycles through them, so each parameter always lands in the same
+	// window (more optimizer-state reuse).
+	StrategyRoundRobin
+	// StrategyTopOnly always tunes the top window — the degenerate
+	// "last-k" baseline; included for the F2 ablation.
+	StrategyTopOnly
+	// StrategySensitivity visits windows in proportion to a per-layer
+	// importance profile (e.g. the LUC sensitivity probe): more important
+	// layers are tuned more often.
+	StrategySensitivity
+)
+
+// String names the strategy for reports.
+func (s WindowStrategy) String() string {
+	switch s {
+	case StrategySliding:
+		return "sliding"
+	case StrategyRoundRobin:
+		return "round-robin"
+	case StrategyTopOnly:
+		return "top-only"
+	case StrategySensitivity:
+		return "sensitivity"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// TunerConfig configures the adaptive layer tuner.
+type TunerConfig struct {
+	// WindowSize is the number of consecutive blocks tuned per iteration
+	// (the paper's backpropagation-depth bound).
+	WindowSize int
+	// Strategy selects the window schedule.
+	Strategy WindowStrategy
+	// Importance drives StrategySensitivity: one non-negative weight per
+	// layer. Ignored by other strategies.
+	Importance []float64
+}
+
+// Validate reports the first invalid field given a model depth.
+func (c TunerConfig) Validate(layers int) error {
+	if c.WindowSize < 1 || c.WindowSize > layers {
+		return fmt.Errorf("adapt: window size %d out of [1,%d]", c.WindowSize, layers)
+	}
+	if c.Strategy == StrategySensitivity && len(c.Importance) != layers {
+		return fmt.Errorf("adapt: sensitivity strategy needs %d importance weights, got %d",
+			layers, len(c.Importance))
+	}
+	return nil
+}
+
+// Tuner drives adaptive layer tuning of a model.
+type Tuner struct {
+	Model *nn.Model
+	Cfg   TunerConfig
+
+	iter int
+	// visitPlan caches the deterministic window-top sequence for the
+	// sensitivity strategy.
+	visitPlan []int
+}
+
+// NewTuner validates the configuration and returns a tuner.
+func NewTuner(m *nn.Model, cfg TunerConfig) (*Tuner, error) {
+	if len(m.Exits) == 0 {
+		return nil, fmt.Errorf("adapt: model must be built with ExitHeads")
+	}
+	if err := cfg.Validate(len(m.Blocks)); err != nil {
+		return nil, err
+	}
+	t := &Tuner{Model: m, Cfg: cfg}
+	if cfg.Strategy == StrategySensitivity {
+		t.visitPlan = sensitivityPlan(cfg.Importance, cfg.WindowSize)
+	}
+	return t, nil
+}
+
+// Window returns the inclusive block range [lo, hi] tuned at iteration
+// `iter`. The loss is computed at the exit head of layer hi.
+func (t *Tuner) Window(iter int) (lo, hi int) {
+	layers := len(t.Model.Blocks)
+	w := t.Cfg.WindowSize
+	switch t.Cfg.Strategy {
+	case StrategySliding:
+		hi = iter % layers
+	case StrategyRoundRobin:
+		groups := (layers + w - 1) / w
+		g := iter % groups
+		hi = g*w + w - 1
+		if hi >= layers {
+			hi = layers - 1
+		}
+	case StrategyTopOnly:
+		hi = layers - 1
+	case StrategySensitivity:
+		hi = t.visitPlan[iter%len(t.visitPlan)]
+	}
+	lo = hi - w + 1
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// sensitivityPlan builds a deterministic visiting sequence of window tops
+// whose visit frequencies are proportional to the aggregated importance of
+// the layers each window covers (largest-remainder apportionment over a
+// plan of fixed length).
+func sensitivityPlan(importance []float64, windowSize int) []int {
+	layers := len(importance)
+	weights := make([]float64, layers)
+	var total float64
+	for hi := 0; hi < layers; hi++ {
+		lo := hi - windowSize + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for l := lo; l <= hi; l++ {
+			weights[hi] += math.Max(importance[l], 0)
+		}
+		if weights[hi] == 0 {
+			weights[hi] = 1e-12
+		}
+		total += weights[hi]
+	}
+	const planLen = 64
+	// Every window top gets at least one visit (no layer may starve); the
+	// remaining slots are apportioned by largest remainder.
+	counts := make([]int, layers)
+	remainders := make([]float64, layers)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(planLen-layers) * w / total
+		counts[i] = 1 + int(exact)
+		remainders[i] = exact - math.Floor(exact)
+		assigned += counts[i]
+	}
+	for assigned < planLen {
+		best := 0
+		for i := range remainders {
+			if remainders[i] > remainders[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		remainders[best] = -1
+		assigned++
+	}
+	// Interleave visits round-robin so heavy layers are spread out.
+	plan := make([]int, 0, planLen)
+	for len(plan) < planLen {
+		for i := 0; i < layers; i++ {
+			if counts[i] > 0 {
+				plan = append(plan, i)
+				counts[i]--
+			}
+		}
+	}
+	return plan
+}
+
+// windowModule is the module set updated for window [lo, hi]: the blocks
+// in the window, the exit head at hi, and — when the window tops out at
+// the last block — the final norm and LM head, so the model's primary
+// output keeps pace with the tuned exits and contributes usefully to the
+// vote.
+type windowModule struct {
+	model     *nn.Model
+	lo, hi    int
+	withFinal bool
+}
+
+// Params implements nn.Module over the window's trainable set.
+func (w windowModule) Params() []nn.NamedParam {
+	var ps []nn.NamedParam
+	for i := w.lo; i <= w.hi; i++ {
+		ps = append(ps, w.model.Blocks[i].Params()...)
+	}
+	ps = append(ps, w.model.Exits[w.hi].Params()...)
+	if w.withFinal {
+		ps = append(ps, w.model.Norm.Params()...)
+		ps = append(ps, w.model.LMHead.Params()...)
+	}
+	return ps
+}
+
+// Step performs one adaptive tuning iteration: selects the window for the
+// current iteration, freezes everything else, computes the loss at the
+// window-top exit head (plus the final head when the window reaches the
+// top of the stack), and applies the optimizer. Returns the loss and the
+// window used.
+func (t *Tuner) Step(tr *train.Trainer, inputs [][]int, targets []int) (loss float64, lo, hi int) {
+	lo, hi = t.Window(t.iter)
+	t.iter++
+
+	m := t.Model
+	last := hi == len(m.Blocks)-1
+	m.SetAllTrainable(false)
+	for i := lo; i <= hi; i++ {
+		m.SetBlockTrainable(i, true)
+	}
+	nn.SetTrainable(m.Exits[hi], true)
+	if last {
+		nn.SetTrainable(m.Norm, true)
+		nn.SetTrainable(m.LMHead, true)
+	}
+
+	hidden := m.HiddenAt(inputs, hi+1)
+	ce := ag.CrossEntropy(m.Exits[hi].Forward(hidden), targets, -1)
+	if last {
+		ceFinal := ag.CrossEntropy(m.LMHead.Forward(m.Norm.Forward(hidden)), targets, -1)
+		ce = ag.Scale(ag.Add(ce, ceFinal), 0.5)
+	}
+	loss = tr.Step(windowModule{model: m, lo: lo, hi: hi, withFinal: last}, ce)
+	return loss, lo, hi
+}
+
+// Iterations returns how many Step calls have been made.
+func (t *Tuner) Iterations() int { return t.iter }
+
+// TunedExits returns the sorted set of exit layers the strategy will ever
+// place a loss at — the heads the Voter should combine.
+func (t *Tuner) TunedExits() []int {
+	layers := len(t.Model.Blocks)
+	seen := make([]bool, layers)
+	// One full cycle of any strategy repeats within layers·planLen iters.
+	horizon := layers
+	if t.Cfg.Strategy == StrategySensitivity {
+		horizon = len(t.visitPlan)
+	}
+	for i := 0; i < horizon; i++ {
+		_, hi := t.Window(i)
+		seen[hi] = true
+	}
+	var exits []int
+	for i, s := range seen {
+		if s {
+			exits = append(exits, i)
+		}
+	}
+	return exits
+}

@@ -1,0 +1,145 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"edgellm/internal/tensor"
+)
+
+// CausalAttention computes fused multi-head causal self-attention.
+//
+// q, k, v have shape (B·T, C) with rows grouped batch-major (row b·T+t is
+// position t of sequence b). C must be divisible by nHeads. The op keeps the
+// per-head softmax probabilities for the backward pass — the dominant
+// activation-memory term of attention, which the memory accountant in
+// internal/train models explicitly.
+func CausalAttention(q, k, v *Value, batch, seqLen, nHeads int) *Value {
+	rows, c := q.Data.Rows(), q.Data.Cols()
+	if rows != batch*seqLen {
+		panic(fmt.Sprintf("autograd: CausalAttention rows %d != batch %d × seq %d", rows, batch, seqLen))
+	}
+	if !q.Data.SameShape(k.Data) || !q.Data.SameShape(v.Data) {
+		panic("autograd: CausalAttention q/k/v shape mismatch")
+	}
+	if c%nHeads != 0 {
+		panic(fmt.Sprintf("autograd: channels %d not divisible by %d heads", c, nHeads))
+	}
+	hd := c / nHeads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	out := tensor.New(rows, c)
+	// probs[b*nHeads+h] is the (T, T) attention matrix for that batch/head.
+	probs := make([]*tensor.Tensor, batch*nHeads)
+
+	for b := 0; b < batch; b++ {
+		for h := 0; h < nHeads; h++ {
+			p := tensor.New(seqLen, seqLen)
+			probs[b*nHeads+h] = p
+			for t := 0; t < seqLen; t++ {
+				qRow := q.Data.Row(b*seqLen + t)[h*hd : (h+1)*hd]
+				// scores over keys 0..t (causal mask)
+				maxS := float32(math.Inf(-1))
+				scores := p.Row(t)[:t+1]
+				for s := 0; s <= t; s++ {
+					kRow := k.Data.Row(b*seqLen + s)[h*hd : (h+1)*hd]
+					var dot float32
+					for d := 0; d < hd; d++ {
+						dot += qRow[d] * kRow[d]
+					}
+					dot *= scale
+					scores[s] = dot
+					if dot > maxS {
+						maxS = dot
+					}
+				}
+				var sum float64
+				for s := 0; s <= t; s++ {
+					e := math.Exp(float64(scores[s] - maxS))
+					scores[s] = float32(e)
+					sum += e
+				}
+				inv := float32(1 / sum)
+				outRow := out.Row(b*seqLen + t)[h*hd : (h+1)*hd]
+				for s := 0; s <= t; s++ {
+					scores[s] *= inv
+					vRow := v.Data.Row(b*seqLen + s)[h*hd : (h+1)*hd]
+					w := scores[s]
+					for d := 0; d < hd; d++ {
+						outRow[d] += w * vRow[d]
+					}
+				}
+			}
+		}
+	}
+
+	return newOp(out, func(o *Value) {
+		var dQ, dK, dV *tensor.Tensor
+		if q.RequiresGrad {
+			dQ = tensor.New(rows, c)
+		}
+		if k.RequiresGrad {
+			dK = tensor.New(rows, c)
+		}
+		if v.RequiresGrad {
+			dV = tensor.New(rows, c)
+		}
+		dP := make([]float32, seqLen)
+		for b := 0; b < batch; b++ {
+			for h := 0; h < nHeads; h++ {
+				p := probs[b*nHeads+h]
+				for t := 0; t < seqLen; t++ {
+					pRow := p.Row(t)[:t+1]
+					gRow := o.Grad.Row(b*seqLen + t)[h*hd : (h+1)*hd]
+					// dV_s += P_ts · dO_t ;  dP_ts = dO_t · V_s
+					for s := 0; s <= t; s++ {
+						vRow := v.Data.Row(b*seqLen + s)[h*hd : (h+1)*hd]
+						var dot float32
+						for d := 0; d < hd; d++ {
+							dot += gRow[d] * vRow[d]
+						}
+						dP[s] = dot
+						if dV != nil {
+							dvRow := dV.Row(b*seqLen + s)[h*hd : (h+1)*hd]
+							w := pRow[s]
+							for d := 0; d < hd; d++ {
+								dvRow[d] += w * gRow[d]
+							}
+						}
+					}
+					// softmax backward: dS = P ⊙ (dP − Σ P·dP)
+					var dot float64
+					for s := 0; s <= t; s++ {
+						dot += float64(pRow[s]) * float64(dP[s])
+					}
+					for s := 0; s <= t; s++ {
+						dS := pRow[s] * (dP[s] - float32(dot)) * scale
+						kRow := k.Data.Row(b*seqLen + s)[h*hd : (h+1)*hd]
+						qRow := q.Data.Row(b*seqLen + t)[h*hd : (h+1)*hd]
+						if dQ != nil {
+							dqRow := dQ.Row(b*seqLen + t)[h*hd : (h+1)*hd]
+							for d := 0; d < hd; d++ {
+								dqRow[d] += dS * kRow[d]
+							}
+						}
+						if dK != nil {
+							dkRow := dK.Row(b*seqLen + s)[h*hd : (h+1)*hd]
+							for d := 0; d < hd; d++ {
+								dkRow[d] += dS * qRow[d]
+							}
+						}
+					}
+				}
+			}
+		}
+		if dQ != nil {
+			q.accumulate(dQ)
+		}
+		if dK != nil {
+			k.accumulate(dK)
+		}
+		if dV != nil {
+			v.accumulate(dV)
+		}
+	}, q, k, v)
+}

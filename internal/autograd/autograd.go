@@ -1,0 +1,171 @@
+// Package autograd implements the reverse-mode automatic differentiation
+// engine used to train the transformer in this reproduction.
+//
+// The design is a classic dynamic tape: every differentiable operation
+// returns a *Value holding the result tensor, the parent Values it was
+// computed from, and a closure that propagates the output gradient to the
+// parents. Backward() topologically sorts the reachable graph and runs the
+// closures in reverse order.
+//
+// Values whose inputs all have RequiresGrad == false are constant-folded:
+// no parents and no closure are recorded. This is the property the
+// adaptive-layer-tuning scheme of Edge-LLM relies on — running the frozen
+// lower layers of the model produces no tape, so their activations are
+// garbage-collected immediately and backpropagation depth is bounded by the
+// tuned layer window.
+package autograd
+
+import (
+	"fmt"
+
+	"edgellm/internal/tensor"
+)
+
+// Value is a node in the autograd graph: a tensor plus the bookkeeping
+// needed to differentiate through it.
+type Value struct {
+	// Data holds the forward result.
+	Data *tensor.Tensor
+	// Grad accumulates ∂loss/∂Data during Backward. It is nil until the
+	// first accumulation (or until InitGrad is called).
+	Grad *tensor.Tensor
+	// RequiresGrad marks leaves that want gradients (parameters) and
+	// interior nodes reachable from such leaves.
+	RequiresGrad bool
+
+	parents  []*Value
+	backward func()
+}
+
+// Param wraps t as a trainable leaf (RequiresGrad = true).
+func Param(t *tensor.Tensor) *Value { return &Value{Data: t, RequiresGrad: true} }
+
+// Const wraps t as a constant leaf: no gradient flows into it and any ops
+// computed purely from constants record no tape.
+func Const(t *tensor.Tensor) *Value { return &Value{Data: t} }
+
+// Detach returns a constant Value sharing v's data, cutting the graph.
+func (v *Value) Detach() *Value { return Const(v.Data) }
+
+// Shape returns the shape of the underlying tensor.
+func (v *Value) Shape() []int { return v.Data.Shape }
+
+// InitGrad ensures v.Grad is allocated (zero-filled) and returns it.
+func (v *Value) InitGrad() *tensor.Tensor {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Shape...)
+	}
+	return v.Grad
+}
+
+// ZeroGrad drops the accumulated gradient.
+func (v *Value) ZeroGrad() { v.Grad = nil }
+
+// accumulate adds g into v.Grad (allocating on first use). Constant values
+// ignore gradients entirely.
+func (v *Value) accumulate(g *tensor.Tensor) {
+	if !v.RequiresGrad {
+		return
+	}
+	v.InitGrad().AddInPlace(g)
+}
+
+// newOp constructs an interior node. If none of the parents require a
+// gradient the node is emitted as a constant and back is discarded, which
+// prevents any tape (and thus any retained activation) below frozen layers.
+func newOp(data *tensor.Tensor, back func(out *Value), parents ...*Value) *Value {
+	need := false
+	for _, p := range parents {
+		if p != nil && p.RequiresGrad {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return &Value{Data: data}
+	}
+	out := &Value{Data: data, RequiresGrad: true, parents: parents}
+	out.backward = func() { back(out) }
+	return out
+}
+
+// Backward runs reverse-mode differentiation from v, which must be a scalar
+// (single-element) value, seeding ∂v/∂v = 1.
+func (v *Value) Backward() {
+	if v.Data.Len() != 1 {
+		panic(fmt.Sprintf("autograd: Backward on non-scalar value of shape %v", v.Data.Shape))
+	}
+	v.BackwardWithGrad(tensor.Ones(v.Data.Shape...))
+}
+
+// BackwardWithGrad runs reverse-mode differentiation from v with an
+// explicit seed gradient of the same shape as v.
+func (v *Value) BackwardWithGrad(seed *tensor.Tensor) {
+	if !v.RequiresGrad {
+		return // the whole graph is frozen; nothing to do
+	}
+	order := topoSort(v)
+	v.accumulate(seed)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// topoSort returns the nodes reachable from root in topological order
+// (parents before children).
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	visited := map[*Value]bool{}
+	// Iterative DFS to avoid stack overflow on deep graphs.
+	type frame struct {
+		v    *Value
+		next int
+	}
+	stack := []frame{{v: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.v.parents) {
+			p := f.v.parents[f.next]
+			f.next++
+			if p != nil && p.RequiresGrad && !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{v: p})
+			}
+			continue
+		}
+		order = append(order, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// GraphSize returns the number of tape nodes reachable from v. It is used
+// by tests and by the memory accountant to verify that frozen layers record
+// no tape.
+func GraphSize(v *Value) int {
+	if !v.RequiresGrad {
+		return 0
+	}
+	return len(topoSort(v))
+}
+
+// TapeBytes returns the bytes of forward activations retained by the tape
+// reachable from v (interior nodes only — leaves are parameters, which the
+// memory accountant counts separately as weights). It lets tests validate
+// the analytic activation-memory model against the real graph.
+func TapeBytes(v *Value) int64 {
+	if !v.RequiresGrad {
+		return 0
+	}
+	var n int64
+	for _, node := range topoSort(v) {
+		if node.backward != nil { // interior node: holds an activation
+			n += int64(node.Data.Len()) * 4
+		}
+	}
+	return n
+}

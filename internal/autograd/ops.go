@@ -1,0 +1,352 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"edgellm/internal/tensor"
+)
+
+// Add returns a + b (elementwise, equal shapes).
+func Add(a, b *Value) *Value {
+	out := tensor.Add(a.Data, b.Data)
+	return newOp(out, func(o *Value) {
+		a.accumulate(o.Grad)
+		b.accumulate(o.Grad)
+	}, a, b)
+}
+
+// Sub returns a - b (elementwise, equal shapes).
+func Sub(a, b *Value) *Value {
+	out := tensor.Sub(a.Data, b.Data)
+	return newOp(out, func(o *Value) {
+		a.accumulate(o.Grad)
+		if b.RequiresGrad {
+			b.accumulate(tensor.Scale(o.Grad, -1))
+		}
+	}, a, b)
+}
+
+// Mul returns a ⊙ b (Hadamard product, equal shapes).
+func Mul(a, b *Value) *Value {
+	out := tensor.Mul(a.Data, b.Data)
+	return newOp(out, func(o *Value) {
+		if a.RequiresGrad {
+			a.accumulate(tensor.Mul(o.Grad, b.Data))
+		}
+		if b.RequiresGrad {
+			b.accumulate(tensor.Mul(o.Grad, a.Data))
+		}
+	}, a, b)
+}
+
+// Scale returns s·a.
+func Scale(a *Value, s float32) *Value {
+	out := tensor.Scale(a.Data, s)
+	return newOp(out, func(o *Value) {
+		a.accumulate(tensor.Scale(o.Grad, s))
+	}, a)
+}
+
+// MatMul returns a × b for rank-2 values.
+func MatMul(a, b *Value) *Value {
+	out := tensor.MatMul(a.Data, b.Data)
+	return newOp(out, func(o *Value) {
+		if a.RequiresGrad {
+			// dA = dY × Bᵀ (MatMulT takes B as stored and transposes it)
+			a.accumulate(tensor.MatMulT(o.Grad, b.Data))
+		}
+		if b.RequiresGrad {
+			// dB = Aᵀ × dY
+			b.accumulate(tensor.TMatMul(a.Data, o.Grad))
+		}
+	}, a, b)
+}
+
+// AddBias adds a rank-1 bias to every row of rank-2 x.
+func AddBias(x, bias *Value) *Value {
+	out := x.Data.Clone()
+	out.AddRowBroadcast(bias.Data)
+	return newOp(out, func(o *Value) {
+		x.accumulate(o.Grad)
+		if bias.RequiresGrad {
+			bias.accumulate(o.Grad.SumRows())
+		}
+	}, x, bias)
+}
+
+// Reshape returns a view of x with a new shape; gradients pass through
+// unchanged (reshaped back).
+func Reshape(x *Value, shape ...int) *Value {
+	out := x.Data.Reshape(shape...)
+	return newOp(out, func(o *Value) {
+		x.accumulate(o.Grad.Reshape(x.Data.Shape...))
+	}, x)
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(x *Value) *Value {
+	out := tensor.Apply(x.Data, func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	return newOp(out, func(o *Value) {
+		g := tensor.New(x.Data.Shape...)
+		for i, v := range x.Data.Data {
+			if v > 0 {
+				g.Data[i] = o.Grad.Data[i]
+			}
+		}
+		x.accumulate(g)
+	}, x)
+}
+
+// SiLU applies x·σ(x) elementwise (the activation used by LLaMA-style MLPs).
+func SiLU(x *Value) *Value {
+	out := tensor.Apply(x.Data, func(v float32) float32 {
+		return v * sigmoid(v)
+	})
+	return newOp(out, func(o *Value) {
+		g := tensor.New(x.Data.Shape...)
+		for i, v := range x.Data.Data {
+			s := sigmoid(v)
+			g.Data[i] = o.Grad.Data[i] * (s + v*s*(1-s))
+		}
+		x.accumulate(g)
+	}, x)
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func GELU(x *Value) *Value {
+	out := tensor.Apply(x.Data, geluFwd)
+	return newOp(out, func(o *Value) {
+		g := tensor.New(x.Data.Shape...)
+		for i, v := range x.Data.Data {
+			g.Data[i] = o.Grad.Data[i] * geluGrad(v)
+		}
+		x.accumulate(g)
+	}, x)
+}
+
+const geluC = 0.7978845608028654 // sqrt(2/π)
+
+func geluFwd(v float32) float32 {
+	x := float64(v)
+	return float32(0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x))))
+}
+
+func geluGrad(v float32) float32 {
+	x := float64(v)
+	inner := geluC * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	dInner := geluC * (1 + 3*0.044715*x*x)
+	return float32(0.5*(1+t) + 0.5*x*(1-t*t)*dInner)
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// RMSNorm applies row-wise root-mean-square normalisation with a learned
+// per-channel gain: y = x / rms(x) ⊙ gain, rms(x) = sqrt(mean(x²) + eps).
+func RMSNorm(x, gain *Value, eps float32) *Value {
+	r, c := x.Data.Rows(), x.Data.Cols()
+	if gain.Data.Rank() != 1 || gain.Data.Shape[0] != c {
+		panic(fmt.Sprintf("autograd: RMSNorm gain %v incompatible with x %v", gain.Data.Shape, x.Data.Shape))
+	}
+	out := tensor.New(r, c)
+	invRMS := make([]float32, r)
+	for i := 0; i < r; i++ {
+		row := x.Data.Row(i)
+		var ss float64
+		for _, v := range row {
+			ss += float64(v) * float64(v)
+		}
+		inv := float32(1 / math.Sqrt(ss/float64(c)+float64(eps)))
+		invRMS[i] = inv
+		outRow := out.Row(i)
+		for j, v := range row {
+			outRow[j] = v * inv * gain.Data.Data[j]
+		}
+	}
+	return newOp(out, func(o *Value) {
+		var dGain *tensor.Tensor
+		if gain.RequiresGrad {
+			dGain = tensor.New(c)
+		}
+		var dX *tensor.Tensor
+		if x.RequiresGrad {
+			dX = tensor.New(r, c)
+		}
+		for i := 0; i < r; i++ {
+			row := x.Data.Row(i)
+			gRow := o.Grad.Row(i)
+			inv := invRMS[i]
+			if dGain != nil {
+				for j, v := range row {
+					dGain.Data[j] += gRow[j] * v * inv
+				}
+			}
+			if dX != nil {
+				// y_j = x_j * inv * g_j with inv = (mean(x²)+eps)^{-1/2}
+				// dx_j = inv*g_j*go_j - x_j * inv³/c * Σ_k go_k g_k x_k
+				var dot float64
+				for k, v := range row {
+					dot += float64(gRow[k]) * float64(gain.Data.Data[k]) * float64(v)
+				}
+				coef := float32(dot) * inv * inv * inv / float32(c)
+				dRow := dX.Row(i)
+				for j, v := range row {
+					dRow[j] = gRow[j]*gain.Data.Data[j]*inv - v*coef
+				}
+			}
+		}
+		if dX != nil {
+			x.accumulate(dX)
+		}
+		if dGain != nil {
+			gain.accumulate(dGain)
+		}
+	}, x, gain)
+}
+
+// Softmax applies a numerically stable row-wise softmax to rank-2 x.
+func Softmax(x *Value) *Value {
+	out := softmaxRows(x.Data)
+	return newOp(out, func(o *Value) {
+		r, c := out.Rows(), out.Cols()
+		dX := tensor.New(r, c)
+		for i := 0; i < r; i++ {
+			p := out.Row(i)
+			g := o.Grad.Row(i)
+			var dot float64
+			for j := range p {
+				dot += float64(p[j]) * float64(g[j])
+			}
+			dRow := dX.Row(i)
+			for j := range p {
+				dRow[j] = p[j] * (g[j] - float32(dot))
+			}
+		}
+		x.accumulate(dX)
+	}, x)
+}
+
+// softmaxRows computes a row-wise stable softmax into a new tensor.
+func softmaxRows(t *tensor.Tensor) *tensor.Tensor {
+	r, c := t.Rows(), t.Cols()
+	out := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		row := t.Row(i)
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		outRow := out.Row(i)
+		for j, v := range row {
+			e := math.Exp(float64(v - m))
+			outRow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range outRow {
+			outRow[j] *= inv
+		}
+	}
+	return out
+}
+
+// Embedding gathers rows of weight (vocab, dim) by ids, producing
+// (len(ids), dim). The backward pass scatter-adds into the weight gradient.
+func Embedding(weight *Value, ids []int) *Value {
+	vocab, dim := weight.Data.Rows(), weight.Data.Cols()
+	out := tensor.New(len(ids), dim)
+	for i, id := range ids {
+		if id < 0 || id >= vocab {
+			panic(fmt.Sprintf("autograd: Embedding id %d out of range [0,%d)", id, vocab))
+		}
+		copy(out.Row(i), weight.Data.Row(id))
+	}
+	return newOp(out, func(o *Value) {
+		dW := tensor.New(vocab, dim)
+		for i, id := range ids {
+			row := dW.Row(id)
+			g := o.Grad.Row(i)
+			for j, v := range g {
+				row[j] += v
+			}
+		}
+		weight.accumulate(dW)
+	}, weight)
+}
+
+// CrossEntropy computes the mean token-level cross-entropy between logits
+// (N, vocab) and integer targets (length N). Targets equal to ignoreIndex
+// contribute nothing. It returns a scalar Value; the fused backward is the
+// standard (softmax − one-hot)/count.
+func CrossEntropy(logits *Value, targets []int, ignoreIndex int) *Value {
+	n, vocab := logits.Data.Rows(), logits.Data.Cols()
+	if len(targets) != n {
+		panic(fmt.Sprintf("autograd: CrossEntropy %d targets for %d rows", len(targets), n))
+	}
+	probs := softmaxRows(logits.Data)
+	var loss float64
+	count := 0
+	for i, t := range targets {
+		if t == ignoreIndex {
+			continue
+		}
+		if t < 0 || t >= vocab {
+			panic(fmt.Sprintf("autograd: CrossEntropy target %d out of range [0,%d)", t, vocab))
+		}
+		p := float64(probs.At(i, t))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		count++
+	}
+	if count == 0 {
+		count = 1
+	}
+	out := tensor.Scalar(float32(loss / float64(count)))
+	return newOp(out, func(o *Value) {
+		scale := o.Grad.Data[0] / float32(count)
+		dL := tensor.New(n, vocab)
+		for i, t := range targets {
+			if t == ignoreIndex {
+				continue
+			}
+			src := probs.Row(i)
+			dst := dL.Row(i)
+			for j, p := range src {
+				dst[j] = p * scale
+			}
+			dst[t] -= scale
+		}
+		logits.accumulate(dL)
+	}, logits)
+}
+
+// Mean reduces x to a scalar mean of all elements.
+func Mean(x *Value) *Value {
+	out := tensor.Scalar(float32(x.Data.Mean()))
+	return newOp(out, func(o *Value) {
+		g := tensor.Full(o.Grad.Data[0]/float32(x.Data.Len()), x.Data.Shape...)
+		x.accumulate(g)
+	}, x)
+}
+
+// Sum reduces x to a scalar sum of all elements.
+func Sum(x *Value) *Value {
+	out := tensor.Scalar(float32(x.Data.Sum()))
+	return newOp(out, func(o *Value) {
+		g := tensor.Full(o.Grad.Data[0], x.Data.Shape...)
+		x.accumulate(g)
+	}, x)
+}

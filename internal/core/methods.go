@@ -1,0 +1,432 @@
+package core
+
+import (
+	"edgellm/internal/adapt"
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/data"
+	"edgellm/internal/hwsim"
+	"edgellm/internal/nn"
+	"edgellm/internal/tensor"
+	"edgellm/internal/train"
+)
+
+// Task bundles the evaluation workloads shared by every tuning method,
+// mirroring the paper's protocol: a *pretraining* corpus the shared base
+// model is trained on once, an *adaptation* corpus from a different
+// distribution that every method tunes toward, a held-out stream for
+// perplexity, and an MCQ dataset (train split tuned on, test split
+// evaluated).
+type Task struct {
+	// Pretrain is the source-domain corpus (Markov chain A).
+	Pretrain *data.Corpus
+	// SourceEval extends chain A; source-domain evaluation (e.g. the
+	// damage a compression policy does to the pretrained base) uses the
+	// tail beyond Pretrain.
+	SourceEval *data.Corpus
+	// Train is the target-domain adaptation corpus (Markov chain B).
+	Train *data.Corpus
+	// Eval extends chain B; evaluation uses the tail beyond Train.
+	Eval *data.Corpus
+	MCQ  *data.MCQDataset
+
+	// Base holds the pretrained parameter snapshot every method adapts
+	// from; populated by EnsureBase. Nil means methods start from random
+	// initialisation.
+	Base []*tensor.Tensor
+}
+
+// NewTask builds the standard synthetic task suite for a model vocabulary.
+func NewTask(seed int64, vocab int) Task {
+	// Entities+relations+query must fit the model vocabulary.
+	entities := vocab - 6
+	const relations = 5
+	return Task{
+		Pretrain:   data.MarkovCorpus(seed, vocab, 40000, 3),
+		SourceEval: data.MarkovCorpus(seed, vocab, 48000, 3),
+		Train:      data.MarkovCorpus(seed+10, vocab, 40000, 3),
+		Eval:       data.MarkovCorpus(seed+10, vocab, 48000, 3), // same chain as Train, longer; eval uses the tail
+		MCQ:        data.NewMCQDataset(seed+1, entities, relations, 4, 96, 48),
+	}
+}
+
+// EnsureBase pretrains the shared base model (full fine-tuning on the
+// source corpus) once and stores its parameter snapshot. Idempotent.
+func (t *Task) EnsureBase(cfg Config, iters int) {
+	if t.Base != nil || iters <= 0 {
+		return
+	}
+	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+	m.SetAllTrainable(true)
+	trainLM(m, m, t.Pretrain, cfg, iters, tensor.NewRNG(cfg.Seed+100))
+	t.Base = snapshotParams(m)
+}
+
+// ApplyBase copies the pretrained snapshot into a freshly built model.
+func (t Task) ApplyBase(m *nn.Model) {
+	if t.Base != nil {
+		restoreParams(m, t.Base)
+	}
+}
+
+// EvalTail returns held-out sequential batches from the tail of the eval
+// corpus (beyond the training stream's length).
+func (t Task) EvalTail(batch, seq, maxBatches int) ([][][]int, [][]int) {
+	tail := &data.Corpus{Tokens: t.Eval.Tokens[len(t.Train.Tokens):], Vocab: t.Eval.Vocab}
+	return tail.SequentialBatches(batch, seq, maxBatches)
+}
+
+// SourceEvalTail returns held-out sequential batches from the source
+// domain, beyond the pretraining stream.
+func (t Task) SourceEvalTail(batch, seq, maxBatches int) ([][][]int, [][]int) {
+	tail := &data.Corpus{Tokens: t.SourceEval.Tokens[len(t.Pretrain.Tokens):], Vocab: t.SourceEval.Vocab}
+	return tail.SequentialBatches(batch, seq, maxBatches)
+}
+
+// MethodResult is one row of Table T1.
+type MethodResult struct {
+	Name string
+	// PPL is held-out language-model perplexity after tuning.
+	PPL float64
+	// MCQAcc is multiple-choice accuracy after tuning on the MCQ split.
+	MCQAcc float64
+	// TrainableParams is the per-iteration trainable element count.
+	TrainableParams int64
+	// Memory is the analytic per-iteration tuning footprint.
+	Memory train.MemoryBreakdown
+	// IterCost is the modeled per-iteration latency on the edge device.
+	IterCost hwsim.Cost
+}
+
+// RunOpts sizes a method run.
+type RunOpts struct {
+	// Iters is the number of LM tuning iterations.
+	Iters int
+	// MCQIters is the number of MCQ tuning iterations (0 skips MCQ).
+	MCQIters int
+	// EvalBatches bounds perplexity evaluation work.
+	EvalBatches int
+	// PretrainIters sizes the shared base-model pretraining (0 = adapt
+	// from random initialisation).
+	PretrainIters int
+}
+
+// DefaultRunOpts returns the sizes used by the recorded experiments.
+func DefaultRunOpts() RunOpts {
+	return RunOpts{Iters: 300, MCQIters: 300, EvalBatches: 10, PretrainIters: 700}
+}
+
+// paramModule adapts a parameter list to nn.Module.
+type paramModule []nn.NamedParam
+
+// Params implements nn.Module.
+func (p paramModule) Params() []nn.NamedParam { return p }
+
+// countElems sums parameter elements.
+func countElems(ps []nn.NamedParam) int64 {
+	var n int64
+	for _, p := range ps {
+		n += int64(p.Value.Data.Len())
+	}
+	return n
+}
+
+// trainLM runs a plain (non-windowed) tuning loop: final-head CE over
+// corpus batches, updating exactly the given module's parameters.
+func trainLM(m *nn.Model, mod nn.Module, c *data.Corpus, cfg Config, iters int, rng *tensor.RNG) {
+	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	for i := 0; i < iters; i++ {
+		inputs, targets := c.Batch(rng, cfg.Batch, cfg.Seq)
+		loss := ag.CrossEntropy(m.Logits(inputs), targets, -1)
+		tr.Step(mod, loss)
+	}
+}
+
+// trainMCQ is trainLM over MCQ training sequences.
+func trainMCQ(m *nn.Model, mod nn.Module, d *data.MCQDataset, cfg Config, iters int, rng *tensor.RNG) {
+	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	for i := 0; i < iters; i++ {
+		inputs, targets := d.MCQBatch(rng, cfg.Batch, -1)
+		loss := ag.CrossEntropy(m.Logits(inputs), targets, -1)
+		tr.Step(mod, loss)
+	}
+}
+
+// evalLM measures held-out perplexity with a forward function.
+func evalLM(task Task, cfg Config, opts RunOpts, forward func([][]int) *ag.Value) float64 {
+	batches, targets := task.EvalTail(cfg.Batch, cfg.Seq, opts.EvalBatches)
+	return train.EvalPerplexityWith(forward, batches, targets)
+}
+
+// RunVanillaFT is the upper-bound baseline: full fine-tuning of the
+// uncompressed model, loss at the final head, full-depth backprop.
+func RunVanillaFT(cfg Config, task Task, opts RunOpts) MethodResult {
+	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+	task.ApplyBase(m)
+	m.SetAllTrainable(true)
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	trainLM(m, m, task.Train, cfg, opts.Iters, rng)
+
+	res := MethodResult{Name: "Vanilla FT"}
+	res.PPL = evalLM(task, cfg, opts, func(b [][]int) *ag.Value { return m.Logits(b) })
+	if opts.MCQIters > 0 {
+		mq := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+		task.ApplyBase(mq)
+		mq.SetAllTrainable(true)
+		trainMCQ(mq, mq, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
+		res.MCQAcc = train.MCQAccuracy(func(b [][]int) *ag.Value { return mq.Logits(b) }, task.MCQ.Test)
+	}
+	res.TrainableParams = int64(nn.NumParams(m))
+	res.Memory = train.EstimateMemory(train.VanillaSpec(cfg.Model, cfg.Batch, cfg.Seq, m, 8))
+	res.IterCost = hwsim.IterationCost(cfg.Device, hwsim.NewSearchedScheduler(),
+		hwsim.VanillaIteration(cfg.Model, cfg.Batch, cfg.Seq))
+	return res
+}
+
+// RunGradCheckpoint is the activation-checkpointing baseline: full
+// fine-tuning with segment recompute, which cuts activation memory to one
+// segment's tape at the cost of a second forward pass per iteration.
+func RunGradCheckpoint(cfg Config, task Task, opts RunOpts, segments int) MethodResult {
+	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+	task.ApplyBase(m)
+	m.SetAllTrainable(true)
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	for i := 0; i < opts.Iters; i++ {
+		inputs, targets := task.Train.Batch(rng, cfg.Batch, cfg.Seq)
+		train.CheckpointedStep(m, inputs, targets, segments)
+		tr.ApplyGrads(m)
+	}
+
+	res := MethodResult{Name: "Grad-ckpt FT"}
+	res.PPL = evalLM(task, cfg, opts, func(b [][]int) *ag.Value { return m.Logits(b) })
+	if opts.MCQIters > 0 {
+		mq := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+		task.ApplyBase(mq)
+		mq.SetAllTrainable(true)
+		trQ := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+		rngQ := tensor.NewRNG(cfg.Seed + 2)
+		for i := 0; i < opts.MCQIters; i++ {
+			inputs, targets := task.MCQ.MCQBatch(rngQ, cfg.Batch, -1)
+			train.CheckpointedStep(mq, inputs, targets, segments)
+			trQ.ApplyGrads(mq)
+		}
+		res.MCQAcc = train.MCQAccuracy(func(b [][]int) *ag.Value { return mq.Logits(b) }, task.MCQ.Test)
+	}
+	res.TrainableParams = int64(nn.NumParams(m))
+	res.Memory = train.EstimateMemory(
+		train.CheckpointedSpec(train.VanillaSpec(cfg.Model, cfg.Batch, cfg.Seq, m, 8), segments))
+
+	// Latency: the vanilla iteration plus one extra full forward.
+	sched := hwsim.NewSearchedScheduler()
+	iter := hwsim.IterationCost(cfg.Device, sched, hwsim.VanillaIteration(cfg.Model, cfg.Batch, cfg.Seq))
+	for i := 0; i < cfg.Model.Layers; i++ {
+		iter = iter.Add(hwsim.BlockForwardCost(cfg.Device, sched, cfg.Model, cfg.Batch, cfg.Seq, hwsim.Uncompressed()))
+	}
+	res.IterCost = iter
+	return res
+}
+
+// RunLoRA is the PEFT baseline: frozen fp16 backbone with rank-r adapters
+// on every block linear, full-depth backprop through frozen weights.
+func RunLoRA(cfg Config, task Task, opts RunOpts, rank int) MethodResult {
+	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+	task.ApplyBase(m)
+	m.SetAllTrainable(false)
+	set := adapt.InstallLoRA(m, tensor.NewRNG(cfg.Seed+3), rank, 2*float32(rank))
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	trainLM(m, set, task.Train, cfg, opts.Iters, rng)
+
+	res := MethodResult{Name: "LoRA"}
+	res.PPL = evalLM(task, cfg, opts, func(b [][]int) *ag.Value { return m.Logits(b) })
+	if opts.MCQIters > 0 {
+		mq := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+		task.ApplyBase(mq)
+		mq.SetAllTrainable(false)
+		setQ := adapt.InstallLoRA(mq, tensor.NewRNG(cfg.Seed+3), rank, 2*float32(rank))
+		trainMCQ(mq, setQ, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
+		res.MCQAcc = train.MCQAccuracy(func(b [][]int) *ag.Value { return mq.Logits(b) }, task.MCQ.Test)
+	}
+	res.TrainableParams = countElems(set.Params())
+
+	spec := train.VanillaSpec(cfg.Model, cfg.Batch, cfg.Seq, m, 8)
+	spec.TrainableElems = res.TrainableParams // grads+opt only for adapters
+	res.Memory = train.EstimateMemory(spec)   // full-depth tape retained
+
+	// Latency: full forward plus the input-gradient half of the backward
+	// (adapter dW GEMMs are negligible at low rank).
+	res.IterCost = loraIterationCost(cfg)
+	return res
+}
+
+// loraIterationCost models a LoRA iteration: full forward, full-depth dX
+// backward, no block dW GEMMs.
+func loraIterationCost(cfg Config) hwsim.Cost {
+	sched := hwsim.NewSearchedScheduler()
+	full := hwsim.IterationCost(cfg.Device, sched, hwsim.VanillaIteration(cfg.Model, cfg.Batch, cfg.Seq))
+	// The backward dW GEMMs are ~half the block backward work; subtract
+	// them. Forward + head costs are shape-identical to vanilla.
+	var blocksBwd hwsim.Cost
+	for i := 0; i < cfg.Model.Layers; i++ {
+		blocksBwd = blocksBwd.Add(hwsim.BlockBackwardCost(cfg.Device, sched, cfg.Model, cfg.Batch, cfg.Seq, hwsim.Uncompressed()))
+	}
+	return hwsim.Cost{
+		ComputeSec:   full.ComputeSec - blocksBwd.ComputeSec*0.5,
+		MemorySec:    full.MemorySec - blocksBwd.MemorySec*0.5,
+		TotalSec:     full.TotalSec - blocksBwd.TotalSec*0.5,
+		FLOPs:        full.FLOPs - blocksBwd.FLOPs*0.5,
+		TrafficBytes: full.TrafficBytes - blocksBwd.TrafficBytes*0.5,
+		IdealSec:     full.IdealSec - blocksBwd.IdealSec*0.5,
+	}
+}
+
+// RunLST is the Ladder Side Tuning baseline: a frozen backbone with a
+// narrow trainable side network (see adapt.LST). Backprop never enters the
+// backbone, so activation memory is the side network's own tape plus the
+// (graph-free) backbone forward.
+func RunLST(cfg Config, task Task, opts RunOpts, reduction int) MethodResult {
+	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+	task.ApplyBase(m)
+	m.SetAllTrainable(false)
+	side := adapt.NewLST(m, tensor.NewRNG(cfg.Seed+4), reduction)
+	rng := tensor.NewRNG(cfg.Seed + 1)
+
+	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	for i := 0; i < opts.Iters; i++ {
+		inputs, targets := task.Train.Batch(rng, cfg.Batch, cfg.Seq)
+		loss := ag.CrossEntropy(side.Logits(inputs), targets, -1)
+		tr.Step(side, loss)
+	}
+
+	res := MethodResult{Name: "LST"}
+	res.PPL = evalLM(task, cfg, opts, side.Logits)
+	if opts.MCQIters > 0 {
+		mq := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+		task.ApplyBase(mq)
+		mq.SetAllTrainable(false)
+		sideQ := adapt.NewLST(mq, tensor.NewRNG(cfg.Seed+4), reduction)
+		trQ := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+		rngQ := tensor.NewRNG(cfg.Seed + 2)
+		for i := 0; i < opts.MCQIters; i++ {
+			inputs, targets := task.MCQ.MCQBatch(rngQ, cfg.Batch, -1)
+			loss := ag.CrossEntropy(sideQ.Logits(inputs), targets, -1)
+			trQ.Step(sideQ, loss)
+		}
+		res.MCQAcc = train.MCQAccuracy(sideQ.Logits, task.MCQ.Test)
+	}
+	res.TrainableParams = countElems(side.Params())
+
+	// Memory: full fp32 weights, grads/opt for the side net only, and a
+	// tape covering only side activations (~5 side-width tensors per rung).
+	spec := train.VanillaSpec(cfg.Model, cfg.Batch, cfg.Seq, m, 8)
+	spec.TapeBlocks = 0
+	spec.TrainableElems = res.TrainableParams
+	res.Memory = train.EstimateMemory(spec)
+	rows := int64(cfg.Batch) * int64(cfg.Seq)
+	sideDim := int64(cfg.Model.Dim / reduction)
+	res.Memory.Activations = 4 * rows * sideDim * 5 * int64(cfg.Model.Layers)
+
+	// Latency: full frozen forward + head, plus a side backward that is
+	// negligible next to the backbone (we charge the head's backward as a
+	// stand-in for the side head).
+	sched := hwsim.NewSearchedScheduler()
+	var iter hwsim.Cost
+	for i := 0; i < cfg.Model.Layers; i++ {
+		iter = iter.Add(hwsim.BlockForwardCost(cfg.Device, sched, cfg.Model, cfg.Batch, cfg.Seq, hwsim.Uncompressed()))
+	}
+	// Side head forward + backward at the reduced width.
+	hg := hwsim.GEMM{M: cfg.Batch * cfg.Seq, K: int(sideDim), N: cfg.Model.Vocab, WeightBits: 16}
+	_, hc := sched.Schedule(cfg.Device, hg)
+	iter = iter.Add(hc).Add(hc).Add(hc) // fwd + dX + dW, same shape class
+	res.IterCost = iter
+	return res
+}
+
+// RunLayerFreeze is the "last-k" baseline: only the top k blocks, final
+// norm, and head are tuned; backprop naturally stops at the frozen
+// boundary.
+func RunLayerFreeze(cfg Config, task Task, opts RunOpts, k int) MethodResult {
+	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+	task.ApplyBase(m)
+	mod := freezeTopK(m, k)
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	trainLM(m, mod, task.Train, cfg, opts.Iters, rng)
+
+	res := MethodResult{Name: "Layer-freeze"}
+	res.PPL = evalLM(task, cfg, opts, func(b [][]int) *ag.Value { return m.Logits(b) })
+	if opts.MCQIters > 0 {
+		mq := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
+		task.ApplyBase(mq)
+		modQ := freezeTopK(mq, k)
+		trainMCQ(mq, modQ, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
+		res.MCQAcc = train.MCQAccuracy(func(b [][]int) *ag.Value { return mq.Logits(b) }, task.MCQ.Test)
+	}
+	res.TrainableParams = countElems(mod.Params())
+
+	spec := train.VanillaSpec(cfg.Model, cfg.Batch, cfg.Seq, m, 8)
+	spec.TapeBlocks = k
+	spec.TrainableElems = res.TrainableParams
+	res.Memory = train.EstimateMemory(spec)
+
+	iter := hwsim.VanillaIteration(cfg.Model, cfg.Batch, cfg.Seq)
+	iter.WindowLo = cfg.Model.Layers - k
+	res.IterCost = hwsim.IterationCost(cfg.Device, hwsim.NewSearchedScheduler(), iter)
+	return res
+}
+
+// freezeTopK freezes everything except the top k blocks, final norm, and
+// head, returning the trainable module.
+func freezeTopK(m *nn.Model, k int) paramModule {
+	m.SetAllTrainable(false)
+	var ps []nn.NamedParam
+	for i := len(m.Blocks) - k; i < len(m.Blocks); i++ {
+		m.SetBlockTrainable(i, true)
+		ps = append(ps, m.Blocks[i].Params()...)
+	}
+	nn.SetTrainable(m.Norm, true)
+	nn.SetTrainable(m.LMHead, true)
+	ps = append(ps, m.Norm.Params()...)
+	ps = append(ps, m.LMHead.Params()...)
+	return ps
+}
+
+// RunEdgeLLM runs the full Edge-LLM pipeline: LUC compression, adaptive
+// layer tuning, calibrated voting inference.
+func RunEdgeLLM(cfg Config, task Task, opts RunOpts) MethodResult {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	task.ApplyBase(p.Model)
+	calib, _ := task.Train.SequentialBatches(cfg.Batch, cfg.Seq, 2)
+	var calibFlat [][]int
+	for _, b := range calib {
+		calibFlat = append(calibFlat, b...)
+	}
+	if err := p.Compress(calibFlat); err != nil {
+		panic(err)
+	}
+	p.Tune(task.Train, opts.Iters)
+	cb, ct := task.EvalTail(cfg.Batch, cfg.Seq, 4)
+	p.FinishTuning(cb, ct)
+
+	res := MethodResult{Name: "Edge-LLM"}
+	res.PPL = evalLM(task, cfg, opts, p.Forward)
+	if opts.MCQIters > 0 {
+		pq, err := New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		task.ApplyBase(pq.Model)
+		if err := pq.Compress(calibFlat); err != nil {
+			panic(err)
+		}
+		pq.TuneMCQ(task.MCQ, opts.MCQIters)
+		pq.FinishTuning(cb, ct)
+		res.MCQAcc = pq.EvalMCQ(task.MCQ.Test)
+	}
+	spec := p.MemorySpec()
+	res.TrainableParams = spec.TrainableElems
+	res.Memory = p.Memory()
+	res.IterCost = p.IterationCost(hwsim.NewSearchedScheduler())
+	return res
+}

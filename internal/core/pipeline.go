@@ -1,0 +1,341 @@
+// Package core assembles the Edge-LLM framework from its substrates: it
+// exposes the end-to-end pipeline (LUC compression → adaptive layer tuning
+// → voting inference), the baseline tuning methods it is evaluated against,
+// and the experiment drivers that regenerate every table and figure in
+// EXPERIMENTS.md.
+package core
+
+import (
+	"fmt"
+
+	"edgellm/internal/adapt"
+	"edgellm/internal/data"
+	"edgellm/internal/hwsim"
+	"edgellm/internal/luc"
+	"edgellm/internal/nn"
+	"edgellm/internal/tensor"
+	"edgellm/internal/train"
+
+	ag "edgellm/internal/autograd"
+)
+
+// Config collects every knob of the Edge-LLM pipeline.
+type Config struct {
+	// Model is the transformer configuration; ExitHeads is forced on.
+	Model nn.Config
+	// Seed drives all randomness (init, batching, search tie-breaks).
+	Seed int64
+
+	// BudgetBits is LUC's average effective-bits target for block weights.
+	BudgetBits float64
+	// Candidates is the LUC search grid; nil selects DefaultCandidates.
+	Candidates []luc.Candidate
+	// ProbeMetric selects the sensitivity measure.
+	ProbeMetric luc.Metric
+	// UseDP selects the DP policy search instead of greedy.
+	UseDP bool
+	// RefineRounds, when > 0, post-processes the searched policy with
+	// joint-KL coordinate descent (luc.RefinePolicy), correcting the
+	// probe's per-layer additivity blind spot at the cost of extra
+	// calibration forwards.
+	RefineRounds int
+
+	// WindowSize bounds backpropagation depth during adaptive tuning.
+	WindowSize int
+	// Strategy schedules the tuned window across iterations.
+	Strategy adapt.WindowStrategy
+	// VoteMode selects how exit heads are combined at inference.
+	VoteMode adapt.VotingMode
+
+	// LR, ClipNorm, WeightDecay configure the optimizer (AdamW).
+	LR          float32
+	ClipNorm    float64
+	WeightDecay float32
+
+	// Batch and Seq shape every tuning batch.
+	Batch, Seq int
+
+	// Device is the simulated edge GPU for latency reporting.
+	Device hwsim.Device
+}
+
+// DefaultConfig returns the tiny-model configuration used by the
+// experiments: big enough to show every effect, small enough to train in
+// seconds on a laptop CPU.
+func DefaultConfig() Config {
+	return Config{
+		Model: nn.Config{
+			Vocab: 32, Dim: 32, Heads: 4, Layers: 6, Hidden: 64,
+			MaxSeq: 32, ExitHeads: true,
+		},
+		Seed:        1,
+		BudgetBits:  4,
+		ProbeMetric: luc.MetricOutputKL,
+		UseDP:       true,
+		WindowSize:  2,
+		Strategy:    adapt.StrategySliding,
+		VoteMode:    adapt.VoteCalibrated,
+		LR:          0.01,
+		ClipNorm:    1.0,
+		WeightDecay: 0.01,
+		Batch:       4,
+		Seq:         24,
+		Device:      hwsim.EdgeGPU(),
+	}
+}
+
+// Pipeline is a live Edge-LLM adaptation session.
+type Pipeline struct {
+	Cfg   Config
+	Model *nn.Model
+	// Info is populated by Compress.
+	Info luc.CompressionInfo
+	// Policy is the LUC policy chosen by Compress.
+	Policy luc.Policy
+	// Sens is the probed sensitivity matrix (kept for the sensitivity-
+	// guided window strategy and for Figure F3).
+	Sens luc.Sensitivity
+
+	Tuner   *adapt.Tuner
+	Voter   *adapt.Voter
+	Trainer *train.Trainer
+
+	rng        *tensor.RNG
+	candidates []luc.Candidate
+	compressed bool
+}
+
+// New builds the model and pipeline from cfg.
+func New(cfg Config) (*Pipeline, error) {
+	cfg.Model.ExitHeads = true
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WindowSize < 1 || cfg.WindowSize > cfg.Model.Layers {
+		return nil, fmt.Errorf("core: window size %d out of [1,%d]", cfg.WindowSize, cfg.Model.Layers)
+	}
+	cands := cfg.Candidates
+	if cands == nil {
+		cands = luc.DefaultCandidates()
+	}
+	p := &Pipeline{
+		Cfg:        cfg,
+		Model:      nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed)),
+		rng:        tensor.NewRNG(cfg.Seed + 1),
+		candidates: cands,
+	}
+	p.Trainer = train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	return p, nil
+}
+
+// Candidates returns the LUC candidate grid in use.
+func (p *Pipeline) Candidates() []luc.Candidate { return p.candidates }
+
+// Compress runs the LUC stage: probe per-layer sensitivity, search a
+// policy under the bit budget, and apply it to the backbone in place.
+// calib supplies calibration sequences for the output-KL probe metric.
+func (p *Pipeline) Compress(calib [][]int) error {
+	if p.compressed {
+		return fmt.Errorf("core: model already compressed")
+	}
+	opts := luc.ProbeOptions{Metric: p.Cfg.ProbeMetric, Calib: calib}
+	p.Sens = luc.Probe(p.Model, p.candidates, opts)
+	if p.Cfg.UseDP {
+		p.Policy = luc.SearchDP(p.Sens, p.candidates, p.Cfg.BudgetBits)
+	} else {
+		p.Policy = luc.SearchGreedy(p.Sens, p.candidates, p.Cfg.BudgetBits)
+	}
+	if p.Cfg.RefineRounds > 0 {
+		if len(calib) == 0 {
+			return fmt.Errorf("core: RefineRounds requires calibration data")
+		}
+		p.Policy = luc.RefinePolicy(p.Model, p.Policy, p.candidates, p.Cfg.BudgetBits, calib, p.Cfg.RefineRounds)
+	}
+	p.Info = luc.Apply(p.Model, p.Policy, p.candidates)
+	p.compressed = true
+	return nil
+}
+
+// importanceFromSens condenses the sensitivity matrix into a per-layer
+// importance weight (cost of the layer's assigned candidate).
+func (p *Pipeline) importanceFromSens() []float64 {
+	imp := make([]float64, len(p.Sens))
+	for i := range p.Sens {
+		imp[i] = p.Sens[i][p.Policy.Choice[i]]
+	}
+	return imp
+}
+
+// StartTuning prepares the adaptive tuner; call after Compress (tuning an
+// uncompressed model is allowed for ablations).
+func (p *Pipeline) StartTuning() error {
+	cfg := adapt.TunerConfig{WindowSize: p.Cfg.WindowSize, Strategy: p.Cfg.Strategy}
+	if p.Cfg.Strategy == adapt.StrategySensitivity {
+		if p.Sens == nil {
+			return fmt.Errorf("core: sensitivity strategy requires Compress first")
+		}
+		cfg.Importance = p.importanceFromSens()
+	}
+	t, err := adapt.NewTuner(p.Model, cfg)
+	if err != nil {
+		return err
+	}
+	p.Tuner = t
+	return nil
+}
+
+// TuneStep performs one adaptive tuning iteration on a corpus batch and
+// returns the loss at the window-top exit.
+func (p *Pipeline) TuneStep(c *data.Corpus) float64 {
+	inputs, targets := c.Batch(p.rng, p.Cfg.Batch, p.Cfg.Seq)
+	loss, _, _ := p.Tuner.Step(p.Trainer, inputs, targets)
+	return loss
+}
+
+// Tune runs iters adaptive tuning iterations and returns the loss curve.
+func (p *Pipeline) Tune(c *data.Corpus, iters int) []float64 {
+	if p.Tuner == nil {
+		if err := p.StartTuning(); err != nil {
+			panic(err)
+		}
+	}
+	losses := make([]float64, iters)
+	for i := range losses {
+		losses[i] = p.TuneStep(c)
+	}
+	return losses
+}
+
+// TuneMCQ runs iters adaptive tuning iterations on MCQ training sequences.
+func (p *Pipeline) TuneMCQ(d *data.MCQDataset, iters int) []float64 {
+	if p.Tuner == nil {
+		if err := p.StartTuning(); err != nil {
+			panic(err)
+		}
+	}
+	losses := make([]float64, iters)
+	for i := range losses {
+		inputs, targets := d.MCQBatch(p.rng, p.Cfg.Batch, -1)
+		loss, _, _ := p.Tuner.Step(p.Trainer, inputs, targets)
+		losses[i] = loss
+	}
+	return losses
+}
+
+// FinishTuning builds and calibrates the voter over the exits the tuner
+// visited (plus the final head) using held-out calibration batches.
+func (p *Pipeline) FinishTuning(calibBatches [][][]int, calibTargets [][]int) {
+	exits := append(p.Tuner.TunedExits(), adapt.FinalHead(p.Model))
+	p.Voter = adapt.NewVoter(exits, p.Cfg.VoteMode)
+	if p.Cfg.VoteMode == adapt.VoteCalibrated && len(calibBatches) > 0 {
+		p.Voter.Calibrate(p.Model, calibBatches, calibTargets, 0.5)
+	}
+}
+
+// Forward returns the pipeline's inference logits (log-prob scores): the
+// calibrated vote when available, otherwise the final head.
+func (p *Pipeline) Forward(batch [][]int) *ag.Value {
+	if p.Voter != nil {
+		return p.Voter.Logits(p.Model, batch)
+	}
+	return p.Model.Logits(batch)
+}
+
+// EvalPerplexity measures perplexity of the pipeline's inference path.
+func (p *Pipeline) EvalPerplexity(c *data.Corpus, maxBatches int) float64 {
+	batches, targets := c.SequentialBatches(p.Cfg.Batch, p.Cfg.Seq, maxBatches)
+	return train.EvalPerplexityWith(p.Forward, batches, targets)
+}
+
+// EvalMCQ measures multiple-choice accuracy of the inference path.
+func (p *Pipeline) EvalMCQ(examples []data.MCQExample) float64 {
+	return train.MCQAccuracy(p.Forward, examples)
+}
+
+// MemorySpec derives the analytic memory model of one tuning iteration of
+// this pipeline.
+func (p *Pipeline) MemorySpec() train.MemorySpec {
+	cfg := p.Cfg.Model
+	bits := make([]int, cfg.Layers)
+	sp := make([]float64, cfg.Layers)
+	for i := range bits {
+		bits[i] = 32
+	}
+	if p.compressed {
+		copy(bits, p.Info.BlockBits())
+		copy(sp, p.Info.BlockSparsity())
+	}
+	// Trainable set per iteration: WindowSize blocks + one exit head.
+	trainable := int64(p.Cfg.WindowSize) * (train.BlockWeightElems(cfg) + 2*int64(cfg.Dim))
+	trainable += int64(cfg.Dim) + int64(cfg.Dim)*int64(cfg.Vocab) // exit head
+	return train.MemorySpec{
+		Cfg: cfg, Batch: p.Cfg.Batch, Seq: p.Cfg.Seq,
+		TapeBlocks:          p.Cfg.WindowSize,
+		TrainableElems:      trainable,
+		BlockWeightBits:     bits,
+		BlockWeightSparsity: sp,
+		OptBytesPerElem:     8, // AdamW
+	}
+}
+
+// Memory returns the analytic per-iteration memory breakdown.
+func (p *Pipeline) Memory() train.MemoryBreakdown {
+	return train.EstimateMemory(p.MemorySpec())
+}
+
+// IterationSpec returns the hardware workload of one adaptive tuning
+// iteration (the mean window position: forward depth averaged over the
+// strategy cycle is approximated by the worst case, the full stack, for a
+// conservative latency estimate is NOT used — we report the exact average
+// over one strategy cycle via IterationCost).
+func (p *Pipeline) iterationSpecs() []hwsim.IterationSpec {
+	cfg := p.Cfg.Model
+	comp := make([]hwsim.LayerCompression, cfg.Layers)
+	for i := range comp {
+		comp[i] = hwsim.Uncompressed()
+		if p.compressed {
+			comp[i] = hwsim.LayerCompression{
+				Bits:     p.Info.Layers[i].Candidate.Bits,
+				Sparsity: p.Info.Layers[i].Candidate.Sparsity,
+			}
+		}
+	}
+	tuner := p.Tuner
+	if tuner == nil {
+		t, err := adapt.NewTuner(p.Model, adapt.TunerConfig{WindowSize: p.Cfg.WindowSize, Strategy: p.Cfg.Strategy})
+		if err != nil {
+			panic(err)
+		}
+		tuner = t
+	}
+	horizon := cfg.Layers
+	specs := make([]hwsim.IterationSpec, 0, horizon)
+	for i := 0; i < horizon; i++ {
+		lo, hi := tuner.Window(i)
+		specs = append(specs, hwsim.IterationSpec{
+			Cfg: cfg, Batch: p.Cfg.Batch, Seq: p.Cfg.Seq,
+			Compression: comp,
+			WindowLo:    lo, WindowHi: hi,
+		})
+	}
+	return specs
+}
+
+// IterationCost returns the mean modeled latency of one tuning iteration
+// over a full window-strategy cycle, under the given scheduler.
+func (p *Pipeline) IterationCost(sched hwsim.Scheduler) hwsim.Cost {
+	specs := p.iterationSpecs()
+	var total hwsim.Cost
+	for _, spec := range specs {
+		total = total.Add(hwsim.IterationCost(p.Cfg.Device, sched, spec))
+	}
+	n := float64(len(specs))
+	return hwsim.Cost{
+		ComputeSec:   total.ComputeSec / n,
+		MemorySec:    total.MemorySec / n,
+		TotalSec:     total.TotalSec / n,
+		FLOPs:        total.FLOPs / n,
+		TrafficBytes: total.TrafficBytes / n,
+		IdealSec:     total.IdealSec / n,
+	}
+}

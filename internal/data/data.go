@@ -1,0 +1,132 @@
+// Package data generates the deterministic synthetic workloads this
+// reproduction tunes on, standing in for the paper's MMLU / commonsense-QA
+// corpora (see DESIGN.md §2 for the substitution argument):
+//
+//   - a Markov-chain character corpus for language-model perplexity,
+//   - a copy/induction task with a sharp learnable rule,
+//   - a templated multiple-choice QA dataset scored by LM likelihood.
+//
+// All generators are seeded, so every experiment in EXPERIMENTS.md is
+// exactly reproducible.
+package data
+
+import (
+	"fmt"
+
+	"edgellm/internal/tensor"
+)
+
+// Corpus is a flat token stream plus its vocabulary size.
+type Corpus struct {
+	Tokens []int
+	Vocab  int
+}
+
+// MarkovCorpus generates a token stream from a random first-order Markov
+// chain over vocab symbols. Each state transitions to `branching` preferred
+// successors with high probability, giving the stream compressible
+// structure that a language model can learn (perplexity well below vocab)
+// without memorising it trivially.
+func MarkovCorpus(seed int64, vocab, length, branching int) *Corpus {
+	if vocab < 2 || branching < 1 || branching > vocab {
+		panic(fmt.Sprintf("data: bad MarkovCorpus params vocab=%d branching=%d", vocab, branching))
+	}
+	g := tensor.NewRNG(seed)
+	// succ[s] lists the preferred successors of state s.
+	succ := make([][]int, vocab)
+	for s := range succ {
+		perm := g.Perm(vocab)
+		succ[s] = perm[:branching]
+	}
+	const noise = 0.05 // probability of a uniform-random transition
+	tokens := make([]int, length)
+	state := g.Intn(vocab)
+	for i := range tokens {
+		tokens[i] = state
+		if g.Float64() < noise {
+			state = g.Intn(vocab)
+		} else {
+			state = succ[state][g.Intn(branching)]
+		}
+	}
+	return &Corpus{Tokens: tokens, Vocab: vocab}
+}
+
+// Batch samples batchSize windows of seqLen+1 tokens and splits them into
+// model inputs (batchSize × seqLen) and next-token targets flattened
+// batch-major (batchSize·seqLen), matching the row layout of model logits.
+func (c *Corpus) Batch(g *tensor.RNG, batchSize, seqLen int) (inputs [][]int, targets []int) {
+	if len(c.Tokens) < seqLen+1 {
+		panic(fmt.Sprintf("data: corpus of %d tokens too short for seqLen %d", len(c.Tokens), seqLen))
+	}
+	inputs = make([][]int, batchSize)
+	targets = make([]int, 0, batchSize*seqLen)
+	for b := 0; b < batchSize; b++ {
+		start := g.Intn(len(c.Tokens) - seqLen - 1)
+		inputs[b] = c.Tokens[start : start+seqLen]
+		targets = append(targets, c.Tokens[start+1:start+seqLen+1]...)
+	}
+	return inputs, targets
+}
+
+// SequentialBatches cuts the corpus into consecutive non-overlapping
+// evaluation batches, for deterministic perplexity measurement.
+func (c *Corpus) SequentialBatches(batchSize, seqLen, maxBatches int) (batches [][][]int, targets [][]int) {
+	stride := seqLen + 1
+	pos := 0
+	for len(batches) < maxBatches {
+		var ins [][]int
+		var tgt []int
+		for b := 0; b < batchSize; b++ {
+			if pos+stride > len(c.Tokens) {
+				return batches, targets
+			}
+			ins = append(ins, c.Tokens[pos:pos+seqLen])
+			tgt = append(tgt, c.Tokens[pos+1:pos+seqLen+1]...)
+			pos += stride
+		}
+		batches = append(batches, ins)
+		targets = append(targets, tgt)
+	}
+	return batches, targets
+}
+
+// PermuteTokens returns a copy of the corpus with every token id remapped
+// through a seeded random permutation of the vocabulary. The stream keeps
+// its statistical structure but every surface symbol changes — a
+// *low-level* domain shift that forces adaptation of the embedding-adjacent
+// layers, unlike a plain chain change which the top of the network can
+// absorb. Used by the window-strategy ablation.
+func PermuteTokens(c *Corpus, seed int64) *Corpus {
+	g := tensor.NewRNG(seed)
+	perm := g.Perm(c.Vocab)
+	out := &Corpus{Tokens: make([]int, len(c.Tokens)), Vocab: c.Vocab}
+	for i, tok := range c.Tokens {
+		out.Tokens[i] = perm[tok]
+	}
+	return out
+}
+
+// CopyCorpus generates an induction workload: fragments of the form
+// [pattern, SEP, pattern] concatenated into a stream. The model must learn
+// to reproduce the pattern after the separator; the second half of each
+// fragment is fully predictable, so a capable tuner drives its loss toward
+// zero. The separator is token vocab-1; patterns use tokens [0, vocab-1).
+func CopyCorpus(seed int64, vocab, fragments, patternLen int) *Corpus {
+	if vocab < 3 || patternLen < 1 {
+		panic("data: bad CopyCorpus params")
+	}
+	g := tensor.NewRNG(seed)
+	sep := vocab - 1
+	tokens := make([]int, 0, fragments*(2*patternLen+1))
+	for f := 0; f < fragments; f++ {
+		pat := make([]int, patternLen)
+		for i := range pat {
+			pat[i] = g.Intn(vocab - 1)
+		}
+		tokens = append(tokens, pat...)
+		tokens = append(tokens, sep)
+		tokens = append(tokens, pat...)
+	}
+	return &Corpus{Tokens: tokens, Vocab: vocab}
+}

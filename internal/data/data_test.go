@@ -1,0 +1,317 @@
+package data
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"edgellm/internal/tensor"
+)
+
+func TestMarkovCorpusBasics(t *testing.T) {
+	c := MarkovCorpus(1, 32, 5000, 3)
+	if len(c.Tokens) != 5000 || c.Vocab != 32 {
+		t.Fatalf("corpus len %d vocab %d", len(c.Tokens), c.Vocab)
+	}
+	for _, tok := range c.Tokens {
+		if tok < 0 || tok >= 32 {
+			t.Fatalf("token %d out of range", tok)
+		}
+	}
+}
+
+func TestMarkovCorpusDeterministic(t *testing.T) {
+	a := MarkovCorpus(42, 16, 1000, 2)
+	b := MarkovCorpus(42, 16, 1000, 2)
+	for i := range a.Tokens {
+		if a.Tokens[i] != b.Tokens[i] {
+			t.Fatal("same seed must give the same corpus")
+		}
+	}
+	c := MarkovCorpus(43, 16, 1000, 2)
+	same := true
+	for i := range a.Tokens {
+		if a.Tokens[i] != c.Tokens[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical corpora")
+	}
+}
+
+func TestMarkovCorpusHasStructure(t *testing.T) {
+	// With branching 2 out of 32 states, the empirical successor entropy
+	// must be far below uniform: count distinct successors per state.
+	c := MarkovCorpus(7, 32, 20000, 2)
+	succ := make(map[int]map[int]int)
+	for i := 0; i+1 < len(c.Tokens); i++ {
+		s, n := c.Tokens[i], c.Tokens[i+1]
+		if succ[s] == nil {
+			succ[s] = map[int]int{}
+		}
+		succ[s][n]++
+	}
+	// For each well-observed state, the top-2 successors should dominate.
+	for s, m := range succ {
+		total, top1, top2 := 0, 0, 0
+		for _, cnt := range m {
+			total += cnt
+			if cnt > top1 {
+				top1, top2 = cnt, top1
+			} else if cnt > top2 {
+				top2 = cnt
+			}
+		}
+		if total < 200 {
+			continue
+		}
+		if frac := float64(top1+top2) / float64(total); frac < 0.8 {
+			t.Fatalf("state %d: top-2 successor mass %.2f, want ≥ 0.8", s, frac)
+		}
+	}
+}
+
+func TestBatchShapesAndAlignment(t *testing.T) {
+	c := MarkovCorpus(2, 16, 2000, 2)
+	g := tensor.NewRNG(3)
+	inputs, targets := c.Batch(g, 4, 8)
+	if len(inputs) != 4 || len(targets) != 32 {
+		t.Fatalf("batch shapes %d, %d", len(inputs), len(targets))
+	}
+	// The target of position t must be the input at position t+1.
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 7; i++ {
+			if targets[b*8+i] != inputs[b][i+1] {
+				t.Fatal("targets must be inputs shifted by one")
+			}
+		}
+	}
+}
+
+func TestSequentialBatchesDisjoint(t *testing.T) {
+	c := MarkovCorpus(4, 16, 500, 2)
+	batches, targets := c.SequentialBatches(2, 10, 100)
+	if len(batches) == 0 || len(batches) != len(targets) {
+		t.Fatal("no eval batches")
+	}
+	// 500 tokens / (11 per row · 2 rows) = 22 full batches.
+	if len(batches) != 22 {
+		t.Fatalf("got %d batches, want 22", len(batches))
+	}
+	for i, b := range batches {
+		if len(b) != 2 || len(targets[i]) != 20 {
+			t.Fatal("bad eval batch shape")
+		}
+	}
+}
+
+func TestCopyCorpusStructure(t *testing.T) {
+	c := CopyCorpus(5, 11, 20, 6)
+	sep := 10
+	if len(c.Tokens) != 20*13 {
+		t.Fatalf("copy corpus length %d", len(c.Tokens))
+	}
+	// Each fragment: 6 pattern, sep, 6 pattern — verify the echo.
+	for f := 0; f < 20; f++ {
+		base := f * 13
+		if c.Tokens[base+6] != sep {
+			t.Fatalf("fragment %d missing separator", f)
+		}
+		for i := 0; i < 6; i++ {
+			if c.Tokens[base+i] != c.Tokens[base+7+i] {
+				t.Fatalf("fragment %d is not an echo", f)
+			}
+			if c.Tokens[base+i] == sep {
+				t.Fatal("pattern must not contain the separator")
+			}
+		}
+	}
+}
+
+func TestMCQDatasetBasics(t *testing.T) {
+	d := NewMCQDataset(1, 20, 5, 4, 60, 20)
+	if len(d.Train) != 60 || len(d.Test) != 20 {
+		t.Fatalf("split sizes %d/%d", len(d.Train), len(d.Test))
+	}
+	if d.Vocab != 26 {
+		t.Fatalf("vocab %d, want 20+5+1", d.Vocab)
+	}
+	for _, e := range append(append([]MCQExample{}, d.Train...), d.Test...) {
+		if len(e.Options) != 4 {
+			t.Fatal("wrong option count")
+		}
+		if e.Answer < 0 || e.Answer >= 4 {
+			t.Fatal("answer index out of range")
+		}
+		// Prompt: context (nOptions-1 entities) + relation + query marker.
+		if len(e.Prompt) != 5 {
+			t.Fatalf("prompt length %d, want 5", len(e.Prompt))
+		}
+		if e.Prompt[3] < 20 || e.Prompt[3] >= 25 {
+			t.Fatal("fourth prompt token must be a relation")
+		}
+		if e.Prompt[4] != 25 {
+			t.Fatal("prompt must end with the query marker")
+		}
+		// Options must be distinct single entities.
+		seen := map[int]bool{}
+		for _, o := range e.Options {
+			if len(o) != 1 || o[0] < 0 || o[0] >= 20 {
+				t.Fatal("option must be one entity token")
+			}
+			if seen[o[0]] {
+				t.Fatal("duplicate option")
+			}
+			seen[o[0]] = true
+		}
+	}
+}
+
+func TestMCQTrainTestDisjoint(t *testing.T) {
+	d := NewMCQDataset(2, 12, 3, 3, 40, 20)
+	key := func(p []int) string { return fmt.Sprint(p) }
+	seen := map[string]bool{}
+	for _, e := range d.Train {
+		seen[key(e.Prompt)] = true
+	}
+	for _, e := range d.Test {
+		if seen[key(e.Prompt)] {
+			t.Fatal("test question also appears in train")
+		}
+	}
+}
+
+func TestMCQRetrievalStructure(t *testing.T) {
+	// Each relation must always retrieve the same context position, and
+	// the correct option must be the entity at that position — the
+	// generalisable rule a transformer can learn via attention.
+	d := NewMCQDataset(9, 14, 3, 4, 40, 20)
+	posOf := map[int]int{} // relation token → context position
+	for _, e := range append(append([]MCQExample{}, d.Train...), d.Test...) {
+		ctx := e.Prompt[:3]
+		rTok := e.Prompt[3]
+		correct := e.Options[e.Answer][0]
+		pos := -1
+		for i, c := range ctx {
+			if c == correct {
+				pos = i
+				break
+			}
+		}
+		if pos == -1 {
+			t.Fatal("correct answer not in the context")
+		}
+		if prev, ok := posOf[rTok]; ok && prev != pos {
+			t.Fatalf("relation %d retrieves positions %d and %d", rTok, prev, pos)
+		}
+		posOf[rTok] = pos
+		// Exactly one option must lie outside the context.
+		outside := 0
+		for _, o := range e.Options {
+			in := false
+			for _, c := range ctx {
+				if o[0] == c {
+					in = true
+				}
+			}
+			if !in {
+				outside++
+			}
+		}
+		if outside != 1 {
+			t.Fatalf("%d options outside context, want 1", outside)
+		}
+	}
+}
+
+func TestMCQLearnableAboveChance(t *testing.T) {
+	// Sanity-check the task design end to end: a scorer implementing the
+	// retrieval rule perfectly must reach 100% on the held-out split.
+	d := NewMCQDataset(10, 16, 3, 4, 30, 30)
+	for _, e := range d.Test {
+		r := e.Prompt[3] - 16
+		want := e.Prompt[r%3]
+		if e.Options[e.Answer][0] != want {
+			t.Fatal("oracle rule disagrees with the dataset answer")
+		}
+	}
+}
+
+func TestMCQTrainSequence(t *testing.T) {
+	e := MCQExample{Prompt: []int{3, 9, 12}, Options: [][]int{{1}, {5}}, Answer: 1}
+	in, tgt := e.TrainSequence(-1)
+	// full = [3 9 12 5]; input = [3 9 12]; targets = [-1 -1 5]
+	want := []int{3, 9, 12}
+	for i, v := range want {
+		if in[i] != v {
+			t.Fatalf("input %v", in)
+		}
+	}
+	if tgt[0] != -1 || tgt[1] != -1 || tgt[2] != 5 {
+		t.Fatalf("targets %v", tgt)
+	}
+}
+
+func TestMCQScoreSequences(t *testing.T) {
+	e := MCQExample{Prompt: []int{3, 9, 12}, Options: [][]int{{1}, {5}}, Answer: 0}
+	ins, tgts := e.ScoreSequences(-1)
+	if len(ins) != 2 || len(tgts) != 2 {
+		t.Fatal("need one scoring sequence per option")
+	}
+	if tgts[0][2] != 1 || tgts[1][2] != 5 {
+		t.Fatalf("scoring targets wrong: %v", tgts)
+	}
+}
+
+func TestMCQBatch(t *testing.T) {
+	d := NewMCQDataset(3, 10, 4, 3, 30, 5)
+	g := tensor.NewRNG(4)
+	ins, tgts := d.MCQBatch(g, 6, -1)
+	if len(ins) != 6 {
+		t.Fatal("wrong batch size")
+	}
+	if len(tgts) != 6*len(ins[0]) {
+		t.Fatal("targets not aligned to flattened inputs")
+	}
+}
+
+func TestPropMarkovTokensInRange(t *testing.T) {
+	f := func(seed int64, v8, b8 uint8) bool {
+		vocab := int(v8%30) + 2
+		branching := int(b8)%vocab + 1
+		c := MarkovCorpus(seed, vocab, 200, branching)
+		for _, tok := range c.Tokens {
+			if tok < 0 || tok >= vocab {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMCQAnswerConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		d := NewMCQDataset(seed, 15, 4, 4, 20, 10)
+		for _, e := range append(append([]MCQExample{}, d.Train...), d.Test...) {
+			in, tgt := e.TrainSequence(-1)
+			// The supervised tail of the train sequence must spell the
+			// correct option.
+			correct := e.Options[e.Answer]
+			if tgt[len(tgt)-1] != correct[len(correct)-1] {
+				return false
+			}
+			if len(in) != len(tgt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

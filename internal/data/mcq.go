@@ -1,0 +1,162 @@
+package data
+
+import (
+	"fmt"
+
+	"edgellm/internal/tensor"
+)
+
+// MCQExample is one multiple-choice question: a prompt, K candidate
+// completions, and the index of the correct one. Models answer by scoring
+// the LM likelihood of each option after the prompt — the same protocol the
+// paper's commonsense-QA evaluation uses.
+type MCQExample struct {
+	Prompt  []int
+	Options [][]int
+	Answer  int
+}
+
+// MCQDataset is a synthetic question-answering task with genuinely
+// generalisable structure: each question shows a context of distinct
+// entities followed by a relation token and a query marker,
+//
+//	[e1 e2 ... eC  rel  ?]  →  answer
+//
+// where every relation deterministically selects one context position
+// (relation r always asks for the r-th entity shown). The correct option
+// is that entity; distractors are the other context entities plus one
+// entity not in the context. A transformer answers by learning the
+// per-relation retrieval rule — an attention pattern — which transfers to
+// the held-out split's unseen entity tuples. (An arbitrary fact table
+// would make held-out questions unguessable and pin accuracy at chance;
+// see DESIGN.md §2.)
+type MCQDataset struct {
+	// Vocab covers entity tokens, relation tokens, and the query marker.
+	Vocab int
+	Train []MCQExample
+	Test  []MCQExample
+
+	entities   int
+	relations  int
+	contextLen int
+	queryTok   int
+}
+
+// NewMCQDataset builds the task: `entities` entity tokens, `relations`
+// relation tokens (each bound to one context position), nOptions answer
+// candidates per question (context length is nOptions-1), and disjoint
+// train/test splits of nTrain and nTest questions.
+func NewMCQDataset(seed int64, entities, relations, nOptions, nTrain, nTest int) *MCQDataset {
+	if nOptions < 2 {
+		panic(fmt.Sprintf("data: need nOptions ≥ 2, got %d", nOptions))
+	}
+	contextLen := nOptions - 1
+	if entities < nOptions {
+		panic(fmt.Sprintf("data: need entities ≥ nOptions, got %d/%d", entities, nOptions))
+	}
+	if relations < 1 {
+		panic("data: need at least one relation")
+	}
+	g := tensor.NewRNG(seed)
+	d := &MCQDataset{
+		Vocab:      entities + relations + 1,
+		entities:   entities,
+		relations:  relations,
+		contextLen: contextLen,
+		queryTok:   entities + relations,
+	}
+	// position[r] is the context slot relation r retrieves.
+	position := make([]int, relations)
+	for r := range position {
+		position[r] = r % contextLen
+	}
+
+	seen := map[string]bool{}
+	build := func() MCQExample {
+		for {
+			// Sample a context of distinct entities and a relation.
+			perm := g.Perm(entities)
+			ctx := perm[:contextLen]
+			distractor := perm[contextLen]
+			r := g.Intn(relations)
+			key := fmt.Sprint(ctx, r)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+
+			correct := ctx[position[r]]
+			prompt := append(append([]int{}, ctx...), entities+r, d.queryTok)
+			// Options: the context entities plus one distractor, shuffled.
+			pool := append(append([]int{}, ctx...), distractor)
+			order := g.Perm(len(pool))
+			opts := make([][]int, len(pool))
+			answer := -1
+			for i, oi := range order {
+				opts[i] = []int{pool[oi]}
+				if pool[oi] == correct {
+					answer = i
+				}
+			}
+			return MCQExample{Prompt: prompt, Options: opts, Answer: answer}
+		}
+	}
+	for i := 0; i < nTrain; i++ {
+		d.Train = append(d.Train, build())
+	}
+	for i := 0; i < nTest; i++ {
+		d.Test = append(d.Test, build())
+	}
+	return d
+}
+
+// TrainSequence converts an example into an LM training pair: the input is
+// prompt+correct-option (minus the final token), and targets supervise only
+// the option tokens (prompt positions carry ignoreIndex).
+func (e MCQExample) TrainSequence(ignoreIndex int) (input, targets []int) {
+	full := append(append([]int{}, e.Prompt...), e.Options[e.Answer]...)
+	input = full[:len(full)-1]
+	targets = make([]int, len(input))
+	for i := range targets {
+		if i < len(e.Prompt)-1 {
+			targets[i] = ignoreIndex
+		} else {
+			targets[i] = full[i+1]
+		}
+	}
+	return input, targets
+}
+
+// ScoreSequences returns, for each option, the (input, targets) pair whose
+// summed target log-probability scores that option. Option tokens are
+// supervised; prompt tokens are ignored.
+func (e MCQExample) ScoreSequences(ignoreIndex int) (inputs [][]int, targets [][]int) {
+	for _, opt := range e.Options {
+		full := append(append([]int{}, e.Prompt...), opt...)
+		in := full[:len(full)-1]
+		tgt := make([]int, len(in))
+		for i := range tgt {
+			if i < len(e.Prompt)-1 {
+				tgt[i] = ignoreIndex
+			} else {
+				tgt[i] = full[i+1]
+			}
+		}
+		inputs = append(inputs, in)
+		targets = append(targets, tgt)
+	}
+	return inputs, targets
+}
+
+// MCQBatch samples a training batch of examples (with replacement) and
+// returns equal-length input sequences with ignore-padded targets, ready
+// for Model.Logits + CrossEntropy.
+func (d *MCQDataset) MCQBatch(g *tensor.RNG, batchSize, ignoreIndex int) (inputs [][]int, targets []int) {
+	for b := 0; b < batchSize; b++ {
+		e := d.Train[g.Intn(len(d.Train))]
+		in, tgt := e.TrainSequence(ignoreIndex)
+		inputs = append(inputs, in)
+		targets = append(targets, tgt...)
+	}
+	return inputs, targets
+}

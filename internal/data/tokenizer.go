@@ -1,0 +1,94 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CharTokenizer maps runes to dense token ids and back — the bridge
+// between the integer corpora the pipeline trains on and human-readable
+// text, used by the generation tooling.
+type CharTokenizer struct {
+	runeToID map[rune]int
+	idToRune []rune
+}
+
+// NewCharTokenizer builds a tokenizer over the distinct runes of the
+// sample text, in sorted order for determinism.
+func NewCharTokenizer(sample string) *CharTokenizer {
+	set := map[rune]bool{}
+	for _, r := range sample {
+		set[r] = true
+	}
+	runes := make([]rune, 0, len(set))
+	for r := range set {
+		runes = append(runes, r)
+	}
+	sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+	t := &CharTokenizer{runeToID: make(map[rune]int, len(runes)), idToRune: runes}
+	for i, r := range runes {
+		t.runeToID[r] = i
+	}
+	return t
+}
+
+// Vocab returns the vocabulary size.
+func (t *CharTokenizer) Vocab() int { return len(t.idToRune) }
+
+// Encode converts text to token ids, erroring on unknown runes.
+func (t *CharTokenizer) Encode(text string) ([]int, error) {
+	out := make([]int, 0, len(text))
+	for _, r := range text {
+		id, ok := t.runeToID[r]
+		if !ok {
+			return nil, fmt.Errorf("data: rune %q not in vocabulary", r)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Decode converts token ids back to text, erroring on out-of-range ids.
+func (t *CharTokenizer) Decode(ids []int) (string, error) {
+	var b strings.Builder
+	for _, id := range ids {
+		if id < 0 || id >= len(t.idToRune) {
+			return "", fmt.Errorf("data: token id %d out of range [0,%d)", id, len(t.idToRune))
+		}
+		b.WriteRune(t.idToRune[id])
+	}
+	return b.String(), nil
+}
+
+// EncodeCorpus tokenizes text into a Corpus.
+func (t *CharTokenizer) EncodeCorpus(text string) (*Corpus, error) {
+	tokens, err := t.Encode(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{Tokens: tokens, Vocab: t.Vocab()}, nil
+}
+
+// RenderCorpus maps a generated integer corpus onto a printable alphabet
+// (letters, digits, punctuation) so samples can be displayed; it requires
+// the corpus vocabulary to fit the alphabet.
+func RenderCorpus(c *Corpus) (string, *CharTokenizer, error) {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;:!?"
+	runes := []rune(alphabet)
+	if c.Vocab > len(runes) {
+		return "", nil, fmt.Errorf("data: vocab %d exceeds printable alphabet %d", c.Vocab, len(runes))
+	}
+	var b strings.Builder
+	for _, tok := range c.Tokens {
+		b.WriteRune(runes[tok])
+	}
+	text := b.String()
+	// The returned tokenizer preserves alphabet order (id i ↔ runes[i]) so
+	// re-encoding the rendered text reproduces the original token ids.
+	tok := &CharTokenizer{runeToID: make(map[rune]int, c.Vocab), idToRune: append([]rune(nil), runes[:c.Vocab]...)}
+	for i, r := range tok.idToRune {
+		tok.runeToID[r] = i
+	}
+	return text, tok, nil
+}

@@ -1,0 +1,106 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCharTokenizerRoundtrip(t *testing.T) {
+	tok := NewCharTokenizer("hello world")
+	ids, err := tok.Encode("hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := tok.Decode(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != "hello world" {
+		t.Fatalf("roundtrip gave %q", back)
+	}
+	// vocab: ' ', d, e, h, l, o, r, w = 8 distinct runes
+	if tok.Vocab() != 8 {
+		t.Fatalf("vocab %d, want 8", tok.Vocab())
+	}
+}
+
+func TestCharTokenizerDeterministicIDs(t *testing.T) {
+	a := NewCharTokenizer("cba")
+	b := NewCharTokenizer("abc")
+	for _, s := range []string{"a", "b", "c"} {
+		ia, _ := a.Encode(s)
+		ib, _ := b.Encode(s)
+		if ia[0] != ib[0] {
+			t.Fatal("ids must depend on sorted runes, not sample order")
+		}
+	}
+}
+
+func TestCharTokenizerErrors(t *testing.T) {
+	tok := NewCharTokenizer("ab")
+	if _, err := tok.Encode("abc"); err == nil {
+		t.Fatal("unknown rune must error")
+	}
+	if _, err := tok.Decode([]int{5}); err == nil {
+		t.Fatal("out-of-range id must error")
+	}
+	if _, err := tok.Decode([]int{-1}); err == nil {
+		t.Fatal("negative id must error")
+	}
+}
+
+func TestEncodeCorpus(t *testing.T) {
+	tok := NewCharTokenizer("xyz")
+	c, err := tok.EncodeCorpus("zyxzyx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tokens) != 6 || c.Vocab != 3 {
+		t.Fatalf("corpus %d tokens vocab %d", len(c.Tokens), c.Vocab)
+	}
+}
+
+func TestRenderCorpus(t *testing.T) {
+	c := MarkovCorpus(1, 32, 500, 3)
+	text, tok, err := RenderCorpus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len([]rune(text)) != 500 {
+		t.Fatalf("rendered %d runes", len([]rune(text)))
+	}
+	back, err := tok.Encode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tokID := range back {
+		if tokID != c.Tokens[i] {
+			t.Fatal("render→encode must reproduce the corpus")
+		}
+	}
+	// Oversized vocab must be rejected.
+	if _, _, err := RenderCorpus(&Corpus{Tokens: []int{0}, Vocab: 1000}); err == nil {
+		t.Fatal("oversized vocab must error")
+	}
+}
+
+func TestPropTokenizerRoundtrip(t *testing.T) {
+	tok := NewCharTokenizer("abcdefgh ")
+	f := func(raw []byte) bool {
+		// Map arbitrary bytes into the known alphabet.
+		alphabet := "abcdefgh "
+		var s []rune
+		for _, b := range raw {
+			s = append(s, rune(alphabet[int(b)%len(alphabet)]))
+		}
+		ids, err := tok.Encode(string(s))
+		if err != nil {
+			return false
+		}
+		back, err := tok.Decode(ids)
+		return err == nil && back == string(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package hwsim
+
+// Energy model: a workload's energy is the sum of switching energy in the
+// MAC arrays (proportional to the ideal compute time at the precision's
+// throughput — integer paths do proportionally cheaper work), DRAM access
+// energy (proportional to traffic), and static/leakage energy
+// (proportional to wall-clock). The constants below are in the range
+// published for 16nm-class edge SoCs; as with latency, only ratios matter
+// for the experiments.
+
+// EnergySpec holds a device's energy coefficients.
+type EnergySpec struct {
+	// PicoJoulePerFLOP is the fp16 MAC-array switching energy.
+	PicoJoulePerFLOP float64
+	// PicoJoulePerByte is the DRAM access energy.
+	PicoJoulePerByte float64
+	// StaticWatts is the idle/leakage power burned for the whole runtime.
+	StaticWatts float64
+}
+
+// DefaultEnergy returns coefficients for the Jetson-class default device.
+func DefaultEnergy() EnergySpec {
+	return EnergySpec{
+		PicoJoulePerFLOP: 0.8,
+		PicoJoulePerByte: 80,
+		StaticWatts:      2.0,
+	}
+}
+
+// EnergyJoules estimates the energy of a modeled workload on a device.
+// Compute energy scales with IdealSec (so integer paths, which finish the
+// same FLOPs in less array time, spend proportionally less), memory energy
+// with traffic, static energy with total latency.
+func (c Cost) EnergyJoules(d Device, e EnergySpec) float64 {
+	computeJ := c.IdealSec * d.PeakFLOPS * e.PicoJoulePerFLOP * 1e-12
+	memoryJ := c.TrafficBytes * e.PicoJoulePerByte * 1e-12
+	staticJ := c.TotalSec * e.StaticWatts
+	return computeJ + memoryJ + staticJ
+}
+
+// DeviceCatalog returns the simulated edge devices used by the device-
+// sweep extension experiment, ordered from weakest to strongest.
+func DeviceCatalog() []Device {
+	nano := Device{
+		Name:            "edge-nano-0.5t25g",
+		PeakFLOPS:       0.5e12,
+		DRAMBandwidth:   25e9,
+		SRAMBytes:       64 << 10,
+		SMs:             4,
+		IntSpeedup:      map[int]float64{16: 1, 8: 2, 4: 2.5, 3: 2.5, 2: 3},
+		DequantOverhead: 0.10,
+		KernelLaunchSec: 8e-6,
+	}
+	mid := EdgeGPU()
+	orin := Device{
+		Name:            "edge-orin-5t200g",
+		PeakFLOPS:       5e12,
+		DRAMBandwidth:   200e9,
+		SRAMBytes:       192 << 10,
+		SMs:             16,
+		IntSpeedup:      map[int]float64{16: 1, 8: 2, 4: 2.5, 3: 2.5, 2: 3},
+		DequantOverhead: 0.08,
+		KernelLaunchSec: 3e-6,
+	}
+	return []Device{nano, mid, orin}
+}

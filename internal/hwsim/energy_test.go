@@ -1,0 +1,77 @@
+package hwsim
+
+import "testing"
+
+func TestEnergyPositiveAndDecomposes(t *testing.T) {
+	d := dev()
+	e := DefaultEnergy()
+	s := Schedule{TileM: 32, TileN: 32, TileK: 32, Flow: OutputStationary, DoubleBuffer: true}
+	c := s.Cost(d, bigGEMM())
+	total := c.EnergyJoules(d, e)
+	if total <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	// Zeroing each coefficient must strictly reduce the total.
+	for _, partial := range []EnergySpec{
+		{PicoJoulePerByte: e.PicoJoulePerByte, StaticWatts: e.StaticWatts},
+		{PicoJoulePerFLOP: e.PicoJoulePerFLOP, StaticWatts: e.StaticWatts},
+		{PicoJoulePerFLOP: e.PicoJoulePerFLOP, PicoJoulePerByte: e.PicoJoulePerByte},
+	} {
+		if got := c.EnergyJoules(d, partial); got >= total {
+			t.Fatalf("removing a component did not reduce energy: %v ≥ %v", got, total)
+		}
+	}
+}
+
+func TestQuantizationSavesEnergy(t *testing.T) {
+	d := dev()
+	e := DefaultEnergy()
+	fp := bigGEMM()
+	q4 := fp
+	q4.WeightBits = 4
+	q4.WeightSparsity = 0.5
+	_, cFP := SearchExhaustive(d, fp)
+	_, cQ4 := SearchExhaustive(d, q4)
+	if cQ4.EnergyJoules(d, e) >= cFP.EnergyJoules(d, e) {
+		t.Fatal("compressed kernel must use less energy")
+	}
+}
+
+func TestFasterScheduleUsesLessStaticEnergy(t *testing.T) {
+	d := dev()
+	g := bigGEMM()
+	_, best := SearchExhaustive(d, g)
+	naive := NaiveSchedule().Cost(d, g)
+	// With only static power, energy ∝ latency.
+	staticOnly := EnergySpec{StaticWatts: 2}
+	if best.EnergyJoules(d, staticOnly) >= naive.EnergyJoules(d, staticOnly) {
+		t.Fatal("faster schedule must burn less static energy")
+	}
+}
+
+func TestDeviceCatalog(t *testing.T) {
+	cat := DeviceCatalog()
+	if len(cat) != 3 {
+		t.Fatalf("catalog size %d", len(cat))
+	}
+	prev := 0.0
+	for _, d := range cat {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", d.Name, err)
+		}
+		if d.PeakFLOPS <= prev {
+			t.Fatal("catalog must be ordered weakest to strongest")
+		}
+		prev = d.PeakFLOPS
+	}
+	// The same workload must run faster on each stronger device.
+	g := bigGEMM()
+	prevSec := 1e9
+	for _, d := range cat {
+		_, c := SearchExhaustive(d, g)
+		if c.TotalSec >= prevSec {
+			t.Fatalf("%s not faster than weaker device", d.Name)
+		}
+		prevSec = c.TotalSec
+	}
+}

@@ -1,0 +1,196 @@
+package hwsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataflow selects which operand stays resident in SRAM across the
+// innermost loop — the three canonical GEMM dataflows.
+type Dataflow int
+
+const (
+	// OutputStationary keeps the C tile resident: partial sums never
+	// leave SRAM, but A and B tiles are re-streamed.
+	OutputStationary Dataflow = iota
+	// WeightStationary keeps the B (weight) tile resident: weights are
+	// read exactly once, but partial sums spill per K tile.
+	WeightStationary
+	// InputStationary keeps the A (activation) tile resident: activations
+	// are read once, partial sums spill per K tile.
+	InputStationary
+)
+
+// String names the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case OutputStationary:
+		return "OS"
+	case WeightStationary:
+		return "WS"
+	case InputStationary:
+		return "IS"
+	default:
+		return fmt.Sprintf("dataflow(%d)", int(d))
+	}
+}
+
+// GEMM describes one M×K · K×N matrix multiply with a (possibly
+// compressed) weight operand B.
+type GEMM struct {
+	M, N, K int
+	// WeightBits is the stored width of B (16 for fp16 activations-as-B,
+	// lower after LUC quantization).
+	WeightBits int
+	// WeightSparsity is B's pruned fraction; pruned weights are skipped in
+	// DRAM traffic (compressed storage) but not in compute (unstructured
+	// sparsity does not accelerate dense edge-GPU MACs).
+	WeightSparsity float64
+}
+
+// FLOPs returns the arithmetic work of the GEMM.
+func (g GEMM) FLOPs() float64 { return 2 * float64(g.M) * float64(g.N) * float64(g.K) }
+
+// Schedule is one point in the hardware scheduling search space.
+type Schedule struct {
+	// TileM/TileN/TileK are the SRAM tile extents.
+	TileM, TileN, TileK int
+	// Flow is the dataflow (which operand is stationary).
+	Flow Dataflow
+	// DoubleBuffer overlaps the next tile's loads with the current tile's
+	// compute: time becomes max(compute, memory) instead of their sum, at
+	// the price of doubling the streamed operands' SRAM footprint.
+	DoubleBuffer bool
+}
+
+// String renders the schedule compactly.
+func (s Schedule) String() string {
+	db := ""
+	if s.DoubleBuffer {
+		db = "+db"
+	}
+	return fmt.Sprintf("%dx%dx%d/%s%s", s.TileM, s.TileN, s.TileK, s.Flow, db)
+}
+
+// Bytes per element of each operand: A activations fp16, C partial sums
+// fp32, B depends on quantization.
+const (
+	bytesA = 2.0
+	bytesC = 4.0
+)
+
+func (g GEMM) bytesB() float64 {
+	return float64(g.WeightBits) / 8 * (1 - g.WeightSparsity)
+}
+
+// SRAMNeeded returns the schedule's on-chip footprint for this GEMM.
+func (s Schedule) SRAMNeeded(g GEMM) int64 {
+	aTile := float64(s.TileM*s.TileK) * bytesA
+	bTile := float64(s.TileK*s.TileN) * float64(g.WeightBits) / 8 * (1 - g.WeightSparsity)
+	cTile := float64(s.TileM*s.TileN) * bytesC
+	if s.DoubleBuffer {
+		// The streamed operands are double-buffered; the stationary one
+		// is not. C is accumulated in place either way.
+		switch s.Flow {
+		case OutputStationary:
+			aTile, bTile = 2*aTile, 2*bTile
+		case WeightStationary:
+			aTile *= 2
+		case InputStationary:
+			bTile *= 2
+		}
+	}
+	return int64(math.Ceil(aTile + bTile + cTile))
+}
+
+// Fits reports whether the schedule's tiles fit the device SRAM.
+func (s Schedule) Fits(d Device, g GEMM) bool {
+	if s.TileM < 1 || s.TileN < 1 || s.TileK < 1 {
+		return false
+	}
+	return s.SRAMNeeded(g) <= d.SRAMBytes
+}
+
+// Traffic returns the modeled DRAM traffic in bytes for the GEMM under the
+// schedule. ceil-divisions model tile tails.
+func (s Schedule) Traffic(g GEMM) float64 {
+	m, n, k := float64(g.M), float64(g.N), float64(g.K)
+	tilesM := math.Ceil(m / float64(s.TileM))
+	tilesN := math.Ceil(n / float64(s.TileN))
+	tilesK := math.Ceil(k / float64(s.TileK))
+	aBytes := m * k * bytesA
+	bBytes := k * n * g.bytesB()
+	cBytes := m * n * bytesC
+	switch s.Flow {
+	case OutputStationary:
+		// A re-read per N tile, B re-read per M tile, C written once.
+		return aBytes*tilesN + bBytes*tilesM + cBytes
+	case WeightStationary:
+		// B read once; A re-read per N tile; C partials spilled and
+		// re-read per K tile (write+read for all but the last pass).
+		return aBytes*tilesN + bBytes + cBytes*(2*tilesK-1)
+	case InputStationary:
+		// A read once; B re-read per M tile; C partials spill per K tile.
+		return aBytes + bBytes*tilesM + cBytes*(2*tilesK-1)
+	default:
+		panic("hwsim: unknown dataflow")
+	}
+}
+
+// computeSec returns the arithmetic time of the GEMM under the schedule,
+// including SM tail quantization, tile-tail padding waste, short-K
+// pipeline drain, and the integer-path speedup / dequant overhead of the
+// weight width.
+func (s Schedule) computeSec(d Device, g GEMM) float64 {
+	m, n, k := float64(g.M), float64(g.N), float64(g.K)
+	// Padded volume: tiles execute full even when the problem edge is ragged.
+	padM := math.Ceil(m/float64(s.TileM)) * float64(s.TileM)
+	padN := math.Ceil(n/float64(s.TileN)) * float64(s.TileN)
+	padK := math.Ceil(k/float64(s.TileK)) * float64(s.TileK)
+	paddedFLOPs := 2 * padM * padN * padK
+
+	// SM tail: tile blocks are scheduled in waves of d.SMs.
+	blocks := math.Ceil(m/float64(s.TileM)) * math.Ceil(n/float64(s.TileN))
+	waves := math.Ceil(blocks / float64(d.SMs))
+	occupancy := blocks / (waves * float64(d.SMs))
+
+	// Short-K drain: each tile's MAC pipeline ramps over ~8 cycles.
+	drainEff := float64(s.TileK) / (float64(s.TileK) + 8)
+
+	speed := d.speedupFor(g.WeightBits)
+	overhead := 1.0
+	if g.WeightBits < 8 && g.WeightBits != 16 {
+		overhead += d.DequantOverhead
+	}
+	effPeak := d.PeakFLOPS * speed * occupancy * drainEff
+	return paddedFLOPs * overhead / effPeak
+}
+
+// Cost models the GEMM's execution under the schedule. Double-buffered
+// schedules overlap compute with memory; unbuffered ones serialise them.
+func (s Schedule) Cost(d Device, g GEMM) Cost {
+	compute := s.computeSec(d, g)
+	traffic := s.Traffic(g)
+	memory := traffic / d.DRAMBandwidth
+	var total float64
+	if s.DoubleBuffer {
+		total = math.Max(compute, memory) + d.KernelLaunchSec
+	} else {
+		total = compute + memory + d.KernelLaunchSec
+	}
+	return Cost{
+		ComputeSec:   compute,
+		MemorySec:    memory,
+		TotalSec:     total,
+		FLOPs:        g.FLOPs(),
+		TrafficBytes: traffic,
+		IdealSec:     g.FLOPs() / (d.PeakFLOPS * d.speedupFor(g.WeightBits)),
+	}
+}
+
+// NaiveSchedule is the unsearched baseline mapping: small square
+// output-stationary tiles with no double buffering — the kind of generic
+// kernel a framework falls back to for irregular compressed layers.
+func NaiveSchedule() Schedule {
+	return Schedule{TileM: 16, TileN: 16, TileK: 16, Flow: OutputStationary, DoubleBuffer: false}
+}

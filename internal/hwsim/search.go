@@ -1,0 +1,149 @@
+package hwsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TileSizes is the tile-extent grid of the schedule search space.
+var TileSizes = []int{8, 16, 32, 64, 128}
+
+// Space enumerates every schedule in the search space that fits the device
+// for the given GEMM: tiles × dataflows × double-buffering.
+func Space(d Device, g GEMM) []Schedule {
+	var out []Schedule
+	for _, tm := range TileSizes {
+		for _, tn := range TileSizes {
+			for _, tk := range TileSizes {
+				for _, flow := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+					for _, db := range []bool{false, true} {
+						s := Schedule{TileM: tm, TileN: tn, TileK: tk, Flow: flow, DoubleBuffer: db}
+						if s.Fits(d, g) {
+							out = append(out, s)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SearchExhaustive returns the schedule with the minimum modeled total
+// time over the full space, breaking ties deterministically toward higher
+// utilization then lexicographic order.
+func SearchExhaustive(d Device, g GEMM) (Schedule, Cost) {
+	space := Space(d, g)
+	if len(space) == 0 {
+		// Even the smallest tile doesn't fit: fall back to the naive
+		// schedule (models a spill-heavy generic kernel).
+		s := NaiveSchedule()
+		return s, s.Cost(d, g)
+	}
+	best := space[0]
+	bestCost := best.Cost(d, g)
+	for _, s := range space[1:] {
+		c := s.Cost(d, g)
+		if c.TotalSec < bestCost.TotalSec-1e-15 {
+			best, bestCost = s, c
+		}
+	}
+	return best, bestCost
+}
+
+// SearchAnnealed runs simulated annealing over the same space — the cheap
+// search used when per-layer exhaustive enumeration would dominate
+// compile time. It is the ablation partner of SearchExhaustive.
+func SearchAnnealed(d Device, g GEMM, seed int64, steps int) (Schedule, Cost) {
+	rng := rand.New(rand.NewSource(seed))
+	cur := NaiveSchedule()
+	if !cur.Fits(d, g) {
+		cur = Schedule{TileM: 8, TileN: 8, TileK: 8, Flow: OutputStationary}
+	}
+	curCost := cur.Cost(d, g)
+	best, bestCost := cur, curCost
+	temp := curCost.TotalSec / 2
+	for i := 0; i < steps; i++ {
+		next := mutate(cur, rng)
+		if !next.Fits(d, g) {
+			continue
+		}
+		nextCost := next.Cost(d, g)
+		delta := nextCost.TotalSec - curCost.TotalSec
+		if delta < 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
+			cur, curCost = next, nextCost
+			if curCost.TotalSec < bestCost.TotalSec {
+				best, bestCost = cur, curCost
+			}
+		}
+		temp *= 0.98
+	}
+	return best, bestCost
+}
+
+// mutate perturbs one schedule dimension.
+func mutate(s Schedule, rng *rand.Rand) Schedule {
+	pick := func(cur int) int {
+		i := sort.SearchInts(TileSizes, cur)
+		j := i + rng.Intn(3) - 1
+		if j < 0 {
+			j = 0
+		}
+		if j >= len(TileSizes) {
+			j = len(TileSizes) - 1
+		}
+		return TileSizes[j]
+	}
+	switch rng.Intn(5) {
+	case 0:
+		s.TileM = pick(s.TileM)
+	case 1:
+		s.TileN = pick(s.TileN)
+	case 2:
+		s.TileK = pick(s.TileK)
+	case 3:
+		s.Flow = Dataflow(rng.Intn(3))
+	case 4:
+		s.DoubleBuffer = !s.DoubleBuffer
+	}
+	return s
+}
+
+// SpaceStats summarises the latency distribution across the whole schedule
+// space of a GEMM — the data behind Figure F5.
+type SpaceStats struct {
+	Count                int
+	BestSec, MedianSec   float64
+	WorstSec             float64
+	BestSchedule         Schedule
+	BestUtil, MedianUtil float64
+}
+
+// AnalyzeSpace evaluates every fitting schedule and reports distribution
+// statistics.
+func AnalyzeSpace(d Device, g GEMM) SpaceStats {
+	space := Space(d, g)
+	stats := SpaceStats{Count: len(space)}
+	if len(space) == 0 {
+		return stats
+	}
+	type entry struct {
+		sec, util float64
+		s         Schedule
+	}
+	entries := make([]entry, len(space))
+	for i, s := range space {
+		c := s.Cost(d, g)
+		entries[i] = entry{sec: c.TotalSec, util: c.Utilization(d), s: s}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].sec < entries[b].sec })
+	stats.BestSec = entries[0].sec
+	stats.BestSchedule = entries[0].s
+	stats.BestUtil = entries[0].util
+	stats.WorstSec = entries[len(entries)-1].sec
+	mid := entries[len(entries)/2]
+	stats.MedianSec = mid.sec
+	stats.MedianUtil = mid.util
+	return stats
+}

@@ -1,0 +1,301 @@
+package luc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgellm/internal/nn"
+	"edgellm/internal/tensor"
+)
+
+func tinyModel(seed int64, layers int) *nn.Model {
+	cfg := nn.Config{Vocab: 16, Dim: 16, Heads: 2, Layers: layers, Hidden: 32, MaxSeq: 8, ExitHeads: false}
+	return nn.NewModel(cfg, tensor.NewRNG(seed))
+}
+
+func calibBatch() [][]int {
+	return [][]int{{1, 2, 3, 4, 5, 6, 7, 8}, {9, 10, 11, 12, 13, 14, 15, 0}}
+}
+
+func TestCandidateEffectiveBits(t *testing.T) {
+	c := Candidate{Bits: 4, Sparsity: 0.5}
+	if c.EffectiveBits() != 2 {
+		t.Fatalf("4b@50%% effective bits %v, want 2", c.EffectiveBits())
+	}
+	if c.String() != "4b@50%" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestDefaultCandidatesSorted(t *testing.T) {
+	cs := DefaultCandidates()
+	if len(cs) != 16 {
+		t.Fatalf("grid size %d, want 16", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i].EffectiveBits() > cs[i-1].EffectiveBits()+1e-9 {
+			t.Fatal("candidates must be sorted by descending effective bits")
+		}
+	}
+}
+
+func TestProbeWeightErrorMonotoneInBits(t *testing.T) {
+	m := tinyModel(1, 3)
+	cands := []Candidate{{Bits: 8}, {Bits: 4}, {Bits: 2}}
+	sens := Probe(m, cands, ProbeOptions{Metric: MetricWeightError})
+	for layer := range sens {
+		if !(sens[layer][0] < sens[layer][1] && sens[layer][1] < sens[layer][2]) {
+			t.Fatalf("layer %d sensitivity not monotone in bits: %v", layer, sens[layer])
+		}
+	}
+}
+
+func TestProbeOutputKLSensitivityOrdering(t *testing.T) {
+	m := tinyModel(2, 3)
+	cands := []Candidate{{Bits: 8}, {Bits: 2, Sparsity: 0.75}}
+	sens := Probe(m, cands, ProbeOptions{Metric: MetricOutputKL, Calib: calibBatch()})
+	for layer := range sens {
+		if sens[layer][1] <= sens[layer][0] {
+			t.Fatalf("layer %d: brutal compression must hurt more than gentle: %v", layer, sens[layer])
+		}
+		if sens[layer][0] < 0 || math.IsNaN(sens[layer][0]) {
+			t.Fatalf("layer %d: invalid KL %v", layer, sens[layer][0])
+		}
+	}
+}
+
+func TestProbeRestoresWeights(t *testing.T) {
+	m := tinyModel(3, 2)
+	before := m.Blocks[0].WeightMatrices()[0].Clone()
+	Probe(m, []Candidate{{Bits: 2, Sparsity: 0.75}}, ProbeOptions{Metric: MetricOutputKL, Calib: calibBatch()})
+	after := m.Blocks[0].WeightMatrices()[0]
+	if !tensor.AllClose(before, after, 0, 0) {
+		t.Fatal("probe must restore weights exactly")
+	}
+}
+
+// syntheticSens builds a sensitivity matrix where layer cost is
+// heterogeneous: sensitive layers pay 10× per lost bit.
+func syntheticSens(layers int, cands []Candidate, sensitive map[int]bool) Sensitivity {
+	s := make(Sensitivity, layers)
+	for i := range s {
+		s[i] = make([]float64, len(cands))
+		w := 1.0
+		if sensitive[i] {
+			w = 10
+		}
+		for ci, c := range cands {
+			s[i][ci] = w * (8 - c.EffectiveBits()) // linear in compression depth
+		}
+	}
+	return s
+}
+
+func TestSearchGreedyMeetsBudget(t *testing.T) {
+	cands := DefaultCandidates()
+	sens := syntheticSens(6, cands, map[int]bool{0: true, 5: true})
+	for _, budget := range []float64{2, 3, 4, 6} {
+		p := SearchGreedy(sens, cands, budget)
+		if got := p.AvgEffectiveBits(cands); got > budget+1e-9 {
+			t.Fatalf("greedy at budget %v achieved %v bits", budget, got)
+		}
+	}
+}
+
+func TestSearchDPMeetsBudgetAndBeatsGreedy(t *testing.T) {
+	cands := DefaultCandidates()
+	sens := syntheticSens(6, cands, map[int]bool{1: true, 2: true})
+	for _, budget := range []float64{2, 3, 4} {
+		g := SearchGreedy(sens, cands, budget)
+		d := SearchDP(sens, cands, budget)
+		if got := d.AvgEffectiveBits(cands); got > budget+1e-9 {
+			t.Fatalf("DP at budget %v achieved %v bits", budget, got)
+		}
+		if d.TotalCost(sens) > g.TotalCost(sens)+1e-9 {
+			t.Fatalf("DP cost %v worse than greedy %v at budget %v",
+				d.TotalCost(sens), g.TotalCost(sens), budget)
+		}
+	}
+}
+
+func TestSearchSparesSensitiveLayers(t *testing.T) {
+	cands := DefaultCandidates()
+	sensitive := map[int]bool{2: true}
+	sens := syntheticSens(4, cands, sensitive)
+	p := SearchDP(sens, cands, 3)
+	// The sensitive layer must end with ≥ the average effective bits of
+	// the insensitive ones.
+	var sensBits, otherBits float64
+	for i, ci := range p.Choice {
+		if sensitive[i] {
+			sensBits = cands[ci].EffectiveBits()
+		} else {
+			otherBits += cands[ci].EffectiveBits()
+		}
+	}
+	otherBits /= 3
+	if sensBits < otherBits {
+		t.Fatalf("sensitive layer got %v bits < insensitive mean %v", sensBits, otherBits)
+	}
+}
+
+func TestLayerwiseBeatsUniformAtEqualBudget(t *testing.T) {
+	// The headline LUC property: with heterogeneous sensitivity, the
+	// layerwise policy achieves strictly lower total cost than the best
+	// uniform policy at the same (or tighter) budget.
+	cands := DefaultCandidates()
+	sens := syntheticSens(8, cands, map[int]bool{0: true, 1: true})
+	budget := 3.0
+	uniform := UniformAtBudget(8, cands, budget)
+	layerwise := SearchDP(sens, cands, budget)
+	if layerwise.AvgEffectiveBits(cands) > budget+1e-9 {
+		t.Fatal("layerwise policy exceeds budget")
+	}
+	if layerwise.TotalCost(sens) >= uniform.TotalCost(sens) {
+		t.Fatalf("layerwise cost %v not better than uniform %v",
+			layerwise.TotalCost(sens), uniform.TotalCost(sens))
+	}
+}
+
+func TestUniformAtBudgetPicksTightestFit(t *testing.T) {
+	cands := DefaultCandidates()
+	p := UniformAtBudget(4, cands, 3)
+	got := cands[p.Choice[0]].EffectiveBits()
+	if got > 3 {
+		t.Fatalf("uniform candidate %v bits exceeds budget", got)
+	}
+	// grid contains 3b@0% = 3.0 exactly
+	if got != 3 {
+		t.Fatalf("expected exact 3-bit fit, got %v", got)
+	}
+}
+
+func TestApplyCompressesInPlace(t *testing.T) {
+	m := tinyModel(4, 3)
+	cands := []Candidate{{Bits: 4, Sparsity: 0.5}}
+	info := Apply(m, Uniform(3, 0), cands)
+	if len(info.Layers) != 3 {
+		t.Fatal("info must cover every layer")
+	}
+	if info.AvgEffectiveBits != 2 {
+		t.Fatalf("avg effective bits %v, want 2", info.AvgEffectiveBits)
+	}
+	for li, l := range info.Layers {
+		for wi, w := range m.Blocks[li].WeightMatrices() {
+			if got := w.Sparsity(); math.Abs(got-0.5) > 0.02 {
+				t.Fatalf("layer %d weight %d sparsity %v, want ≈0.5", li, wi, got)
+			}
+			if l.Masks[wi] == nil {
+				t.Fatal("pruned layer must record a mask")
+			}
+		}
+	}
+	bits := info.BlockBits()
+	sp := info.BlockSparsity()
+	for i := range bits {
+		if bits[i] != 4 || sp[i] != 0.5 {
+			t.Fatal("accounting accessors wrong")
+		}
+	}
+}
+
+func TestApplyKeepsModelFunctional(t *testing.T) {
+	m := tinyModel(5, 3)
+	base := m.Logits(calibBatch()).Data.Clone()
+	cands := []Candidate{{Bits: 8}}
+	Apply(m, Uniform(3, 0), cands)
+	compressed := m.Logits(calibBatch()).Data
+	// 8-bit compression must change logits only mildly.
+	if tensor.AllClose(base, compressed, 0, 0) {
+		t.Fatal("compression should change the logits at least slightly")
+	}
+	diff := tensor.MSE(base, compressed)
+	var ms float64
+	for _, v := range base.Data {
+		ms += float64(v) * float64(v)
+	}
+	ms /= float64(base.Len())
+	if diff/ms > 0.05 {
+		t.Fatalf("8-bit compression damaged logits too much: rel MSE %v", diff/ms)
+	}
+}
+
+func TestApplyPolicyLengthMismatchPanics(t *testing.T) {
+	m := tinyModel(6, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched policy must panic")
+		}
+	}()
+	Apply(m, Uniform(2, 0), []Candidate{{Bits: 8}})
+}
+
+func TestRefinePolicyImprovesJointKL(t *testing.T) {
+	m := tinyModel(7, 4)
+	cands := DefaultCandidates()
+	calib := calibBatch()
+	sens := Probe(m, cands, ProbeOptions{Metric: MetricOutputKL, Calib: calib})
+	initial := SearchDP(sens, cands, 2)
+
+	refined := RefinePolicy(m, initial, cands, 2, calib, 3)
+	if refined.AvgEffectiveBits(cands) > 2+1e-9 {
+		t.Fatal("refined policy exceeds budget")
+	}
+
+	// Measure joint KL of both policies on untouched copies.
+	jointKL := func(p Policy) float64 {
+		trial := tinyModel(7, 4) // same seed → same weights
+		base := softmaxLogits(trial.Logits(calib).Data)
+		Apply(trial, p, cands)
+		return meanKL(base, softmaxLogits(trial.Logits(calib).Data))
+	}
+	if jointKL(refined) > jointKL(initial)+1e-12 {
+		t.Fatalf("refinement made joint KL worse: %v vs %v", jointKL(refined), jointKL(initial))
+	}
+
+	// The model itself must be untouched by refinement.
+	fresh := tinyModel(7, 4)
+	for i, b := range m.Blocks {
+		for wi, w := range b.WeightMatrices() {
+			if !tensor.AllClose(w, fresh.Blocks[i].WeightMatrices()[wi], 0, 0) {
+				t.Fatal("RefinePolicy must restore model weights")
+			}
+		}
+	}
+}
+
+func TestRefinePolicyRequiresCalib(t *testing.T) {
+	m := tinyModel(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("refine without calibration must panic")
+		}
+	}()
+	RefinePolicy(m, Uniform(2, 0), DefaultCandidates(), 4, nil, 1)
+}
+
+func TestPropSearchAlwaysWithinBudget(t *testing.T) {
+	cands := DefaultCandidates()
+	f := func(seed int64, layers8 uint8, budget16 uint16) bool {
+		layers := int(layers8%8) + 2
+		budget := 2 + float64(budget16%600)/100 // [2, 8)
+		g := tensor.NewRNG(seed)
+		sens := make(Sensitivity, layers)
+		for i := range sens {
+			sens[i] = make([]float64, len(cands))
+			scale := g.Float64()*9 + 1
+			for ci, c := range cands {
+				sens[i][ci] = scale * (8 - c.EffectiveBits()) * (1 + g.Float64()*0.1)
+			}
+		}
+		pg := SearchGreedy(sens, cands, budget)
+		pd := SearchDP(sens, cands, budget)
+		return pg.AvgEffectiveBits(cands) <= budget+1e-9 &&
+			pd.AvgEffectiveBits(cands) <= budget+1e-9 &&
+			pd.TotalCost(sens) <= pg.TotalCost(sens)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package luc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SearchGreedy finds a per-layer policy whose average effective bits is at
+// most budgetBits, minimising probed sensitivity cost greedily: all layers
+// start at the highest-precision candidate and the move with the best
+// (cost increase) / (bits saved) ratio is applied until the budget holds.
+//
+// Greedy is the cheap search the paper's "cost-effective" framing implies;
+// SearchDP below is the exact reference it is ablated against.
+func SearchGreedy(sens Sensitivity, cands []Candidate, budgetBits float64) Policy {
+	layers := len(sens)
+	levels := effectiveBitLevels(cands)
+	// cheapestAt[i][l] is layer i's cheapest candidate at level l (several
+	// candidates can share one effective-bits level, e.g. 2b@0% and 8b@75%).
+	cheapestAt := make([][]int, layers)
+	for i := range cheapestAt {
+		cheapestAt[i] = make([]int, len(levels))
+		for l, group := range levels {
+			best := group[0]
+			for _, ci := range group[1:] {
+				if sens[i][ci] < sens[i][best] {
+					best = ci
+				}
+			}
+			cheapestAt[i][l] = best
+		}
+	}
+	level := make([]int, layers) // current level per layer
+	p := Policy{Choice: make([]int, layers)}
+	for i := range p.Choice {
+		p.Choice[i] = cheapestAt[i][0]
+	}
+	for p.AvgEffectiveBits(cands) > budgetBits+1e-9 {
+		bestLayer, bestScore := -1, math.Inf(1)
+		for i := 0; i < layers; i++ {
+			if level[i]+1 >= len(levels) {
+				continue
+			}
+			cur := p.Choice[i]
+			next := cheapestAt[i][level[i]+1]
+			saved := cands[cur].EffectiveBits() - cands[next].EffectiveBits()
+			score := (sens[i][next] - sens[i][cur]) / saved
+			if score < bestScore {
+				bestLayer, bestScore = i, score
+			}
+		}
+		if bestLayer == -1 {
+			panic(fmt.Sprintf("luc: budget %.2f bits unreachable even at maximum compression", budgetBits))
+		}
+		level[bestLayer]++
+		p.Choice[bestLayer] = cheapestAt[bestLayer][level[bestLayer]]
+	}
+	return p
+}
+
+// effectiveBitLevels groups candidate indices by distinct effective-bits
+// value, ordered from highest to lowest.
+func effectiveBitLevels(cands []Candidate) [][]int {
+	order := candidateOrder(cands)
+	var levels [][]int
+	for _, ci := range order {
+		if len(levels) > 0 {
+			last := levels[len(levels)-1][0]
+			if math.Abs(cands[last].EffectiveBits()-cands[ci].EffectiveBits()) < 1e-9 {
+				levels[len(levels)-1] = append(levels[len(levels)-1], ci)
+				continue
+			}
+		}
+		levels = append(levels, []int{ci})
+	}
+	return levels
+}
+
+// SearchDP finds the cost-optimal policy under the same budget by dynamic
+// programming over a discretised bit budget. With the default 1/16-bit
+// resolution the discretisation error is negligible for the candidate
+// grids used here.
+func SearchDP(sens Sensitivity, cands []Candidate, budgetBits float64) Policy {
+	const unit = 1.0 / 16
+	layers := len(sens)
+	// Total budget in units across all layers.
+	total := int(math.Floor(budgetBits*float64(layers)/unit + 1e-9))
+	costUnits := make([]int, len(cands))
+	for i, c := range cands {
+		costUnits[i] = int(math.Ceil(c.EffectiveBits()/unit - 1e-9))
+	}
+	const inf = math.MaxFloat64 / 4
+	// dp[b] = min cost using budget exactly ≤ b units so far; choice
+	// reconstruction via back pointers per layer.
+	dp := make([]float64, total+1)
+	back := make([][]int16, layers)
+	for b := range dp {
+		dp[b] = 0
+	}
+	// forward over layers: dpNew[b] = min over cand (dp[b - cost] + sens)
+	for layer := 0; layer < layers; layer++ {
+		back[layer] = make([]int16, total+1)
+		dpNew := make([]float64, total+1)
+		for b := 0; b <= total; b++ {
+			best, bestC := inf, -1
+			for ci := range cands {
+				if costUnits[ci] > b {
+					continue
+				}
+				v := dp[b-costUnits[ci]] + sens[layer][ci]
+				if v < best {
+					best, bestC = v, ci
+				}
+			}
+			dpNew[b] = best
+			back[layer][b] = int16(bestC)
+		}
+		dp = dpNew
+	}
+	if dp[total] >= inf {
+		panic(fmt.Sprintf("luc: DP budget %.2f bits unreachable", budgetBits))
+	}
+	// Reconstruct: walk layers backwards taking the recorded choice at the
+	// remaining budget.
+	p := Policy{Choice: make([]int, layers)}
+	b := total
+	for layer := layers - 1; layer >= 0; layer-- {
+		ci := int(back[layer][b])
+		if ci < 0 {
+			panic("luc: DP reconstruction failed")
+		}
+		p.Choice[layer] = ci
+		b -= costUnits[ci]
+	}
+	return p
+}
+
+// candidateOrder returns candidate indices sorted by descending effective
+// bits (stable on ties).
+func candidateOrder(cands []Candidate) []int {
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cands[order[a]].EffectiveBits() > cands[order[b]].EffectiveBits()
+	})
+	return order
+}

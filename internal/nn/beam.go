@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BeamSearch decodes deterministically with beam search: it keeps the
+// `width` highest-log-probability partial sequences, extends each by its
+// `width` best next tokens per step, and returns the best complete
+// sequence along with its total log-probability. width == 1 reduces to
+// greedy decoding.
+func BeamSearch(forward ForwardFn, prompt []int, maxSeq, width, maxTokens int) ([]int, float64, error) {
+	if width < 1 {
+		return nil, 0, fmt.Errorf("nn: beam width %d must be ≥ 1", width)
+	}
+	if maxTokens < 1 {
+		return nil, 0, fmt.Errorf("nn: maxTokens %d must be ≥ 1", maxTokens)
+	}
+	if len(prompt) == 0 {
+		return nil, 0, fmt.Errorf("nn: empty prompt")
+	}
+	type beam struct {
+		seq   []int
+		score float64
+	}
+	beams := []beam{{seq: append([]int(nil), prompt...)}}
+	for step := 0; step < maxTokens; step++ {
+		var expanded []beam
+		for _, bm := range beams {
+			window := bm.seq
+			if len(window) > maxSeq {
+				window = window[len(window)-maxSeq:]
+			}
+			scores := forward([][]int{window})
+			last := scores.Data.Row(scores.Data.Rows() - 1)
+			logps := logSoftmax(last)
+			for _, cand := range topK(logps, width) {
+				seq := append(append([]int(nil), bm.seq...), cand)
+				expanded = append(expanded, beam{seq: seq, score: bm.score + logps[cand]})
+			}
+		}
+		sort.SliceStable(expanded, func(a, b int) bool { return expanded[a].score > expanded[b].score })
+		if len(expanded) > width {
+			expanded = expanded[:width]
+		}
+		beams = expanded
+	}
+	return beams[0].seq, beams[0].score, nil
+}
+
+// logSoftmax converts one logit row to log-probabilities.
+func logSoftmax(logits []float32) []float64 {
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v - maxV))
+	}
+	lse := math.Log(sum) + float64(maxV)
+	out := make([]float64, len(logits))
+	for i, v := range logits {
+		out[i] = float64(v) - lse
+	}
+	return out
+}
+
+// topK returns the indices of the k largest values (k clamped to len).
+func topK(vals []float64, k int) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

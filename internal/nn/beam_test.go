@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBeamWidthOneEqualsGreedy(t *testing.T) {
+	m := tinyModel(90)
+	prompt := []int{2, 4, 6}
+	greedy, err := m.Generate(prompt, SampleConfig{Temperature: 0, MaxTokens: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beam, _, err := BeamSearch(m.Logits, prompt, m.Cfg.MaxSeq, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range greedy {
+		if greedy[i] != beam[i] {
+			t.Fatalf("beam-1 diverges from greedy at %d: %v vs %v", i, beam, greedy)
+		}
+	}
+}
+
+func TestWiderBeamNeverScoresWorse(t *testing.T) {
+	m := tinyModel(91)
+	prompt := []int{1, 2}
+	_, s1, err := BeamSearch(m.Logits, prompt, m.Cfg.MaxSeq, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := BeamSearch(m.Logits, prompt, m.Cfg.MaxSeq, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 < s1-1e-9 {
+		t.Fatalf("beam-4 score %v worse than beam-1 %v", s4, s1)
+	}
+}
+
+func TestBeamScoreMatchesSequenceLogProb(t *testing.T) {
+	// The returned score must equal the sum of per-step log-probs of the
+	// chosen continuation under the model.
+	m := tinyModel(92)
+	prompt := []int{3}
+	seq, score, err := BeamSearch(m.Logits, prompt, m.Cfg.MaxSeq, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := len(prompt); i < len(seq); i++ {
+		logits := m.Logits([][]int{seq[:i]})
+		lp := logSoftmax(logits.Data.Row(logits.Data.Rows() - 1))
+		want += lp[seq[i]]
+	}
+	if math.Abs(score-want) > 1e-5 {
+		t.Fatalf("beam score %v, recomputed %v", score, want)
+	}
+}
+
+func TestBeamValidation(t *testing.T) {
+	m := tinyModel(93)
+	if _, _, err := BeamSearch(m.Logits, []int{1}, 8, 0, 3); err == nil {
+		t.Fatal("width 0 must error")
+	}
+	if _, _, err := BeamSearch(m.Logits, []int{1}, 8, 2, 0); err == nil {
+		t.Fatal("maxTokens 0 must error")
+	}
+	if _, _, err := BeamSearch(m.Logits, nil, 8, 2, 3); err == nil {
+		t.Fatal("empty prompt must error")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	got := topK([]float64{0.1, 5, -3, 2}, 2)
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("topK got %v", got)
+	}
+	if len(topK([]float64{1, 2}, 10)) != 2 {
+		t.Fatal("topK must clamp k")
+	}
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"edgellm/internal/tensor"
+)
+
+// checkpointMagic identifies the checkpoint container format.
+var checkpointMagic = [8]byte{'E', 'L', 'L', 'M', 'C', 'K', 'P', '1'}
+
+// checkpointHeader is the JSON header preceding the tensor payload.
+type checkpointHeader struct {
+	Config Config   `json:"config"`
+	Names  []string `json:"names"`
+}
+
+// Save serialises the model (config + every named parameter) to w. The
+// format is: magic | uint32 header length | JSON header | tensors in
+// header order (tensor.WriteTo framing).
+func (m *Model) Save(w io.Writer) error {
+	params := m.Params()
+	hdr := checkpointHeader{Config: m.Cfg}
+	for _, p := range params {
+		hdr.Names = append(hdr.Names, p.Name)
+	}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("nn: marshal checkpoint header: %w", err)
+	}
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(hdrBytes))); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdrBytes); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if _, err := p.Value.Data.WriteTo(w); err != nil {
+			return fmt.Errorf("nn: write %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save, rebuilding the model from the
+// stored config and filling in every parameter. Name order and shapes are
+// verified against the freshly built architecture.
+func Load(r io.Reader) (*Model, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("nn: not an edgellm checkpoint (magic %q)", magic)
+	}
+	var hdrLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, err
+	}
+	if hdrLen > 1<<20 {
+		return nil, fmt.Errorf("nn: implausible header length %d", hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdrBytes); err != nil {
+		return nil, err
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("nn: parse checkpoint header: %w", err)
+	}
+	if err := hdr.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint config invalid: %w", err)
+	}
+	m := NewModel(hdr.Config, tensor.NewRNG(0))
+	params := m.Params()
+	if len(params) != len(hdr.Names) {
+		return nil, fmt.Errorf("nn: checkpoint has %d tensors, architecture expects %d",
+			len(hdr.Names), len(params))
+	}
+	for i, p := range params {
+		if p.Name != hdr.Names[i] {
+			return nil, fmt.Errorf("nn: checkpoint tensor %d is %q, expected %q",
+				i, hdr.Names[i], p.Name)
+		}
+		t, err := tensor.ReadFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("nn: read %s: %w", p.Name, err)
+		}
+		if !t.SameShape(p.Value.Data) {
+			return nil, fmt.Errorf("nn: %s has shape %v, expected %v",
+				p.Name, t.Shape, p.Value.Data.Shape)
+		}
+		p.Value.Data.CopyFrom(t)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model checkpoint to a file path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := m.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model checkpoint from a file path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"edgellm/internal/tensor"
+)
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	orig := tinyModel(60)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cfg != orig.Cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", back.Cfg, orig.Cfg)
+	}
+	op, bp := orig.Params(), back.Params()
+	if len(op) != len(bp) {
+		t.Fatal("param count mismatch")
+	}
+	for i := range op {
+		if op[i].Name != bp[i].Name {
+			t.Fatalf("param %d name %q vs %q", i, op[i].Name, bp[i].Name)
+		}
+		if !tensor.AllClose(op[i].Value.Data, bp[i].Value.Data, 0, 0) {
+			t.Fatalf("param %s differs after roundtrip", op[i].Name)
+		}
+	}
+	// The loaded model must compute identical logits.
+	a := orig.Logits(batch2x4())
+	b := back.Logits(batch2x4())
+	if !tensor.AllClose(a.Data, b.Data, 0, 0) {
+		t.Fatal("loaded model computes different logits")
+	}
+}
+
+func TestCheckpointTiedExits(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TieExitHeads = true
+	orig := NewModel(cfg, tensor.NewRNG(61))
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Exits[0].Proj != back.LMHead {
+		t.Fatal("tied exits must stay tied after load")
+	}
+}
+
+func TestCheckpointFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	orig := tinyModel(62)
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := orig.Logits(batch2x4())
+	b := back.Logits(batch2x4())
+	if !tensor.AllClose(a.Data, b.Data, 0, 0) {
+		t.Fatal("file roundtrip changed the model")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("definitely not a checkpoint file at all"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	orig := tinyModel(63)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated checkpoint must be rejected")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/model.ckpt"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

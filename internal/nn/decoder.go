@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"edgellm/internal/tensor"
+)
+
+// Decoder is an inference-only incremental decoder with per-layer KV
+// caches: each Step feeds one token and returns the final-head logits for
+// that position in O(depth · context) instead of re-running the full
+// forward over the whole sequence. It operates directly on tensors (no
+// autograd tape) and produces exactly the same logits as Model.Logits'
+// last row, which the tests assert.
+type Decoder struct {
+	m   *Model
+	pos int
+	// kCache[l] and vCache[l] hold the cached keys/values of block l,
+	// each a slice of per-position vectors of length Dim.
+	kCache [][][]float32
+	vCache [][][]float32
+}
+
+// NewDecoder returns a decoder over m with empty caches.
+func NewDecoder(m *Model) *Decoder {
+	d := &Decoder{m: m}
+	d.Reset()
+	return d
+}
+
+// Reset clears the caches for a new sequence.
+func (d *Decoder) Reset() {
+	L := len(d.m.Blocks)
+	d.pos = 0
+	d.kCache = make([][][]float32, L)
+	d.vCache = make([][][]float32, L)
+}
+
+// Pos returns the number of tokens consumed since the last Reset.
+func (d *Decoder) Pos() int { return d.pos }
+
+// Step consumes one token and returns the final-head logits for its
+// position. It panics if the context exceeds the model's MaxSeq.
+func (d *Decoder) Step(token int) []float32 {
+	m := d.m
+	if d.pos >= m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("nn: decoder position %d exceeds MaxSeq %d", d.pos, m.Cfg.MaxSeq))
+	}
+	if token < 0 || token >= m.Cfg.Vocab {
+		panic(fmt.Sprintf("nn: decoder token %d out of range", token))
+	}
+	dim := m.Cfg.Dim
+	heads := m.Cfg.Heads
+	hd := dim / heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	// Embedding.
+	x := make([]float32, dim)
+	copy(x, m.TokEmb.W.Data.Row(token))
+	posRow := m.PosEmb.W.Data.Row(d.pos)
+	for i := range x {
+		x[i] += posRow[i]
+	}
+
+	for l, blk := range m.Blocks {
+		// Attention sub-block.
+		h := rmsnormVec(x, blk.Norm1.Gain.Data.Data, blk.Norm1.Eps)
+		q := vecMat(h, blk.Attn.Wq.W.Data)
+		k := vecMat(h, blk.Attn.Wk.W.Data)
+		v := vecMat(h, blk.Attn.Wv.W.Data)
+		d.kCache[l] = append(d.kCache[l], k)
+		d.vCache[l] = append(d.vCache[l], v)
+
+		ctx := make([]float32, dim)
+		T := len(d.kCache[l])
+		scores := make([]float32, T)
+		for hI := 0; hI < heads; hI++ {
+			lo := hI * hd
+			maxS := float32(math.Inf(-1))
+			for t := 0; t < T; t++ {
+				var dot float32
+				kt := d.kCache[l][t][lo : lo+hd]
+				qh := q[lo : lo+hd]
+				for i := 0; i < hd; i++ {
+					dot += qh[i] * kt[i]
+				}
+				dot *= scale
+				scores[t] = dot
+				if dot > maxS {
+					maxS = dot
+				}
+			}
+			var sum float64
+			for t := 0; t < T; t++ {
+				e := math.Exp(float64(scores[t] - maxS))
+				scores[t] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for t := 0; t < T; t++ {
+				w := scores[t] * inv
+				vt := d.vCache[l][t][lo : lo+hd]
+				out := ctx[lo : lo+hd]
+				for i := 0; i < hd; i++ {
+					out[i] += w * vt[i]
+				}
+			}
+		}
+		att := vecMat(ctx, blk.Attn.Wo.W.Data)
+		for i := range x {
+			x[i] += att[i]
+		}
+
+		// MLP sub-block.
+		h2 := rmsnormVec(x, blk.Norm2.Gain.Data.Data, blk.Norm2.Eps)
+		gate := vecMat(h2, blk.MLP.Gate.W.Data)
+		up := vecMat(h2, blk.MLP.Up.W.Data)
+		for i := range gate {
+			s := float32(1 / (1 + math.Exp(-float64(gate[i]))))
+			gate[i] = gate[i] * s * up[i]
+		}
+		down := vecMat(gate, blk.MLP.Down.W.Data)
+		for i := range x {
+			x[i] += down[i]
+		}
+	}
+
+	final := rmsnormVec(x, m.Norm.Gain.Data.Data, m.Norm.Eps)
+	logits := vecMat(final, m.LMHead.W.Data)
+	d.pos++
+	return logits
+}
+
+// Generate feeds the prompt through the cache and then samples MaxTokens
+// continuations, returning prompt+continuation. It mirrors nn.Generate's
+// sampling semantics but runs in O(tokens · context) instead of
+// O(tokens · context²).
+func (d *Decoder) Generate(prompt []int, cfg SampleConfig) ([]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("nn: empty prompt")
+	}
+	if len(prompt)+cfg.MaxTokens > d.m.Cfg.MaxSeq {
+		return nil, fmt.Errorf("nn: prompt %d + %d tokens exceeds MaxSeq %d (KV cache cannot slide)",
+			len(prompt), cfg.MaxTokens, d.m.Cfg.MaxSeq)
+	}
+	d.Reset()
+	g := tensor.NewRNG(cfg.Seed)
+	var logits []float32
+	for _, tok := range prompt {
+		logits = d.Step(tok)
+	}
+	out := append([]int(nil), prompt...)
+	for i := 0; i < cfg.MaxTokens; i++ {
+		next := sampleToken(logits, cfg, g)
+		out = append(out, next)
+		if i == cfg.MaxTokens-1 {
+			break
+		}
+		logits = d.Step(next)
+	}
+	return out, nil
+}
+
+// vecMat computes xᵀ·W for x of length in and W of shape (in, out).
+func vecMat(x []float32, w *tensor.Tensor) []float32 {
+	in, out := w.Rows(), w.Cols()
+	if len(x) != in {
+		panic(fmt.Sprintf("nn: vecMat length %d vs weight rows %d", len(x), in))
+	}
+	y := make([]float32, out)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := w.Row(i)
+		for j, wv := range row {
+			y[j] += xv * wv
+		}
+	}
+	return y
+}
+
+// rmsnormVec applies RMSNorm to one vector.
+func rmsnormVec(x, gain []float32, eps float32) []float32 {
+	var ss float64
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	inv := float32(1 / math.Sqrt(ss/float64(len(x))+float64(eps)))
+	y := make([]float32, len(x))
+	for i, v := range x {
+		y[i] = v * inv * gain[i]
+	}
+	return y
+}

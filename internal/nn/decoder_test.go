@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"edgellm/internal/tensor"
+)
+
+func TestDecoderMatchesFullForward(t *testing.T) {
+	m := tinyModel(70)
+	seq := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	logitsFull := m.Logits([][]int{seq}).Data
+
+	d := NewDecoder(m)
+	for pos, tok := range seq {
+		row := d.Step(tok)
+		want := logitsFull.Row(pos)
+		for j := range row {
+			if math.Abs(float64(row[j]-want[j])) > 1e-4 {
+				t.Fatalf("pos %d vocab %d: cached %v vs full %v", pos, j, row[j], want[j])
+			}
+		}
+	}
+}
+
+func TestDecoderResetIndependence(t *testing.T) {
+	m := tinyModel(71)
+	d := NewDecoder(m)
+	first := d.Step(5)
+	d.Step(6)
+	d.Reset()
+	again := d.Step(5)
+	for j := range first {
+		if first[j] != again[j] {
+			t.Fatal("Reset must clear all cached state")
+		}
+	}
+	if d.Pos() != 1 {
+		t.Fatal("Pos must track steps since Reset")
+	}
+}
+
+func TestDecoderGenerateMatchesGenerate(t *testing.T) {
+	// Greedy decoding with and without the KV cache must agree exactly as
+	// long as the sequence fits MaxSeq (no window truncation).
+	m := tinyModel(72)
+	prompt := []int{1, 2, 3}
+	cfg := SampleConfig{Temperature: 0, MaxTokens: 4, Seed: 1}
+	slow, err := m.Generate(prompt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewDecoder(m).Generate(prompt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) != len(fast) {
+		t.Fatal("length mismatch")
+	}
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Fatalf("token %d: cached %d vs full %d", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestDecoderOverflowPanics(t *testing.T) {
+	m := tinyModel(73)
+	d := NewDecoder(m)
+	for i := 0; i < m.Cfg.MaxSeq; i++ {
+		d.Step(1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stepping past MaxSeq must panic")
+		}
+	}()
+	d.Step(1)
+}
+
+func TestDecoderGenerateOverflowErrors(t *testing.T) {
+	m := tinyModel(74)
+	prompt := make([]int, m.Cfg.MaxSeq-1)
+	if _, err := NewDecoder(m).Generate(prompt[:1], SampleConfig{Temperature: 0, MaxTokens: m.Cfg.MaxSeq}); err == nil {
+		t.Fatal("overflowing generation must error")
+	}
+}
+
+func TestDecoderBadTokenPanics(t *testing.T) {
+	m := tinyModel(75)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range token must panic")
+		}
+	}()
+	NewDecoder(m).Step(m.Cfg.Vocab)
+}
+
+func TestVecMatAgainstMatMul(t *testing.T) {
+	g := tensor.NewRNG(76)
+	w := g.Normal(0, 1, 6, 9)
+	x := g.Normal(0, 1, 6)
+	got := vecMat(x.Data, w)
+	want := tensor.MatMul(x.Reshape(1, 6), w)
+	for j := range got {
+		if math.Abs(float64(got[j]-want.Data[j])) > 1e-5 {
+			t.Fatal("vecMat disagrees with MatMul")
+		}
+	}
+}
+
+func BenchmarkDecoderStepVsFullForward(b *testing.B) {
+	cfg := Config{Vocab: 64, Dim: 64, Heads: 4, Layers: 4, Hidden: 128, MaxSeq: 128, ExitHeads: false}
+	m := NewModel(cfg, tensor.NewRNG(77))
+	seq := make([]int, 64)
+	for i := range seq {
+		i2 := i % cfg.Vocab
+		seq[i] = i2
+	}
+	b.Run("kv-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := NewDecoder(m)
+			for _, tok := range seq {
+				d.Step(tok)
+			}
+		}
+	})
+	b.Run("full-reforward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for l := 1; l <= len(seq); l++ {
+				m.Logits([][]int{seq[:l]})
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"testing"
+
+	"edgellm/internal/tensor"
+)
+
+func TestSampleConfigValidate(t *testing.T) {
+	good := SampleConfig{Temperature: 0.8, TopK: 5, MaxTokens: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []SampleConfig{
+		{Temperature: -1, MaxTokens: 1},
+		{TopK: -1, MaxTokens: 1},
+		{MaxTokens: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v should be invalid", bad)
+		}
+	}
+}
+
+func TestGenerateLengthAndRange(t *testing.T) {
+	m := tinyModel(50)
+	out, err := m.Generate([]int{1, 2, 3}, SampleConfig{Temperature: 1, MaxTokens: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 13 {
+		t.Fatalf("generated %d tokens, want 13", len(out))
+	}
+	for i, tok := range out {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			t.Fatalf("token %d at %d out of range", tok, i)
+		}
+	}
+	// The prompt must be preserved as a prefix.
+	for i, want := range []int{1, 2, 3} {
+		if out[i] != want {
+			t.Fatal("prompt not preserved")
+		}
+	}
+}
+
+func TestGenerateGreedyDeterministic(t *testing.T) {
+	m := tinyModel(51)
+	cfg := SampleConfig{Temperature: 0, MaxTokens: 8, Seed: 1}
+	a, _ := m.Generate([]int{5}, cfg)
+	cfg.Seed = 999 // greedy must ignore the seed
+	b, _ := m.Generate([]int{5}, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy decoding must be deterministic")
+		}
+	}
+}
+
+func TestGenerateSampledSeedsDiffer(t *testing.T) {
+	m := tinyModel(52)
+	a, _ := m.Generate([]int{5}, SampleConfig{Temperature: 1.5, MaxTokens: 12, Seed: 1})
+	b, _ := m.Generate([]int{5}, SampleConfig{Temperature: 1.5, MaxTokens: 12, Seed: 2})
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should (overwhelmingly) give different samples")
+	}
+	c, _ := m.Generate([]int{5}, SampleConfig{Temperature: 1.5, MaxTokens: 12, Seed: 1})
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("same seed must reproduce the sample")
+		}
+	}
+}
+
+func TestGenerateTopKRestricts(t *testing.T) {
+	// With TopK=1, sampling degenerates to greedy regardless of temperature.
+	m := tinyModel(53)
+	greedy, _ := m.Generate([]int{7}, SampleConfig{Temperature: 0, MaxTokens: 6, Seed: 1})
+	topk1, _ := m.Generate([]int{7}, SampleConfig{Temperature: 2, TopK: 1, MaxTokens: 6, Seed: 42})
+	for i := range greedy {
+		if greedy[i] != topk1[i] {
+			t.Fatal("top-1 sampling must equal greedy")
+		}
+	}
+}
+
+func TestGenerateWindowTruncation(t *testing.T) {
+	// Prompt longer than MaxSeq must still work via left truncation.
+	m := tinyModel(54)
+	prompt := make([]int, m.Cfg.MaxSeq+4)
+	for i := range prompt {
+		prompt[i] = i % m.Cfg.Vocab
+	}
+	out, err := m.Generate(prompt, SampleConfig{Temperature: 0, MaxTokens: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(prompt)+3 {
+		t.Fatal("truncated generation wrong length")
+	}
+}
+
+func TestGenerateEmptyPromptErrors(t *testing.T) {
+	m := tinyModel(55)
+	if _, err := m.Generate(nil, SampleConfig{Temperature: 0, MaxTokens: 1}); err == nil {
+		t.Fatal("empty prompt must error")
+	}
+}
+
+func TestSampleTokenDistribution(t *testing.T) {
+	// A strongly peaked logit row must dominate the samples.
+	logits := []float32{0, 0, 10, 0}
+	g := tensor.NewRNG(1)
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if sampleToken(logits, SampleConfig{Temperature: 1}, g) == 2 {
+			hits++
+		}
+	}
+	if hits < 190 {
+		t.Fatalf("peaked distribution sampled only %d/200 times", hits)
+	}
+}

@@ -1,0 +1,164 @@
+// Package prune implements the magnitude-pruning half of Edge-LLM's
+// layerwise unified compression: unstructured top-k magnitude pruning with
+// arbitrary per-layer ratios, hardware-friendly N:M semi-structured
+// pruning, reusable masks, and the error metrics the LUC sensitivity probe
+// consumes.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgellm/internal/tensor"
+)
+
+// Mask records which elements of a tensor survive pruning. Masks let a
+// pruning decision be re-applied after weight updates (mask persistence
+// during tuning) and support storage accounting.
+type Mask struct {
+	Keep  []bool
+	Shape []int
+}
+
+// NewMask returns an all-keep mask for the given shape.
+func NewMask(shape ...int) *Mask {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	return &Mask{Keep: keep, Shape: append([]int(nil), shape...)}
+}
+
+// Apply zeroes the masked-out elements of t in place.
+func (m *Mask) Apply(t *tensor.Tensor) {
+	if len(m.Keep) != t.Len() {
+		panic(fmt.Sprintf("prune: mask of %d elements applied to tensor of %d", len(m.Keep), t.Len()))
+	}
+	for i, keep := range m.Keep {
+		if !keep {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// Sparsity returns the fraction of elements the mask removes.
+func (m *Mask) Sparsity() float64 {
+	dropped := 0
+	for _, keep := range m.Keep {
+		if !keep {
+			dropped++
+		}
+	}
+	return float64(dropped) / float64(len(m.Keep))
+}
+
+// MagnitudeMask builds a mask that drops the `ratio` fraction of t's
+// elements with the smallest absolute value. ratio is clamped to [0,1].
+// Ties at the threshold are broken by index for determinism.
+func MagnitudeMask(t *tensor.Tensor, ratio float64) *Mask {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	n := t.Len()
+	drop := int(math.Round(ratio * float64(n)))
+	m := NewMask(t.Shape...)
+	if drop == 0 {
+		return m
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va := math.Abs(float64(t.Data[idx[a]]))
+		vb := math.Abs(float64(t.Data[idx[b]]))
+		if va != vb {
+			return va < vb
+		}
+		return idx[a] < idx[b]
+	})
+	for _, i := range idx[:drop] {
+		m.Keep[i] = false
+	}
+	return m
+}
+
+// NMMask builds an N:M semi-structured mask over a rank-2 tensor: within
+// every group of m consecutive elements along each row, only the n largest
+// by magnitude survive. (2:4 is the pattern edge accelerators execute
+// natively.) Rows whose length is not a multiple of m keep the remainder
+// unpruned.
+func NMMask(t *tensor.Tensor, n, m int) *Mask {
+	if n <= 0 || m <= 0 || n > m {
+		panic(fmt.Sprintf("prune: invalid N:M pattern %d:%d", n, m))
+	}
+	rows, cols := t.Rows(), t.Cols()
+	mask := NewMask(t.Shape...)
+	var order [16]int
+	for r := 0; r < rows; r++ {
+		row := t.Row(r)
+		for c0 := 0; c0+m <= cols; c0 += m {
+			group := row[c0 : c0+m]
+			ord := order[:0]
+			for i := range group {
+				ord = append(ord, i)
+			}
+			sort.Slice(ord, func(a, b int) bool {
+				va := math.Abs(float64(group[ord[a]]))
+				vb := math.Abs(float64(group[ord[b]]))
+				if va != vb {
+					return va > vb
+				}
+				return ord[a] < ord[b]
+			})
+			for _, i := range ord[n:] {
+				mask.Keep[r*cols+c0+i] = false
+			}
+		}
+	}
+	return mask
+}
+
+// PruneInPlace applies unstructured magnitude pruning at the given ratio
+// and returns the mask used.
+func PruneInPlace(t *tensor.Tensor, ratio float64) *Mask {
+	m := MagnitudeMask(t, ratio)
+	m.Apply(t)
+	return m
+}
+
+// PruneNMInPlace applies N:M pruning in place and returns the mask.
+func PruneNMInPlace(t *tensor.Tensor, n, m int) *Mask {
+	mask := NMMask(t, n, m)
+	mask.Apply(t)
+	return mask
+}
+
+// Error returns the MSE that pruning t at ratio would introduce.
+func Error(t *tensor.Tensor, ratio float64) float64 {
+	pruned := t.Clone()
+	PruneInPlace(pruned, ratio)
+	return tensor.MSE(pruned, t)
+}
+
+// RelativeError normalises Error by the tensor's mean square, matching
+// quant.Scheme.RelativeError so the LUC probe can combine the two.
+func RelativeError(t *tensor.Tensor, ratio float64) float64 {
+	var ms float64
+	for _, v := range t.Data {
+		ms += float64(v) * float64(v)
+	}
+	ms /= float64(t.Len())
+	if ms == 0 {
+		return 0
+	}
+	return Error(t, ratio) / ms
+}

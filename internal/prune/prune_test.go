@@ -1,0 +1,189 @@
+package prune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgellm/internal/tensor"
+)
+
+func TestMagnitudeMaskExactRatio(t *testing.T) {
+	g := tensor.NewRNG(1)
+	w := g.Normal(0, 1, 10, 10)
+	for _, ratio := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		m := MagnitudeMask(w, ratio)
+		if got := m.Sparsity(); math.Abs(got-ratio) > 1e-9 {
+			t.Fatalf("ratio %v produced sparsity %v", ratio, got)
+		}
+	}
+}
+
+func TestMagnitudeMaskDropsSmallest(t *testing.T) {
+	w := tensor.FromSlice([]float32{0.1, -5, 0.01, 3, -0.2, 7}, 2, 3)
+	m := MagnitudeMask(w, 0.5)
+	pruned := w.Clone()
+	m.Apply(pruned)
+	// The three smallest |values| are 0.01, 0.1, 0.2 — all must be zeroed.
+	want := []float32{0, -5, 0, 3, 0, 7}
+	for i, v := range want {
+		if pruned.Data[i] != v {
+			t.Fatalf("pruned %v, want %v", pruned.Data, want)
+		}
+	}
+}
+
+func TestMagnitudeMaskClampsRatio(t *testing.T) {
+	w := tensor.Ones(2, 2)
+	if MagnitudeMask(w, -0.5).Sparsity() != 0 {
+		t.Fatal("negative ratio must clamp to 0")
+	}
+	if MagnitudeMask(w, 1.5).Sparsity() != 1 {
+		t.Fatal("ratio > 1 must clamp to 1")
+	}
+}
+
+func TestPruneInPlaceSetsSparsity(t *testing.T) {
+	g := tensor.NewRNG(2)
+	w := g.Normal(0, 1, 8, 8)
+	PruneInPlace(w, 0.75)
+	if got := w.Sparsity(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("tensor sparsity %v after 75%% prune", got)
+	}
+}
+
+func TestMaskReapplicable(t *testing.T) {
+	g := tensor.NewRNG(3)
+	w := g.Normal(0, 1, 6, 6)
+	m := PruneInPlace(w, 0.5)
+	// simulate a dense gradient update that repopulates pruned slots
+	w.ApplyInPlace(func(v float32) float32 { return v + 0.3 })
+	m.Apply(w)
+	if got := w.Sparsity(); got < 0.5-1e-9 {
+		t.Fatalf("re-applied mask left sparsity %v", got)
+	}
+}
+
+func TestNMMaskPattern(t *testing.T) {
+	g := tensor.NewRNG(4)
+	w := g.Normal(0, 1, 4, 16)
+	mask := NMMask(w, 2, 4)
+	pruned := w.Clone()
+	mask.Apply(pruned)
+	for r := 0; r < 4; r++ {
+		row := pruned.Row(r)
+		for c0 := 0; c0 < 16; c0 += 4 {
+			alive := 0
+			for i := 0; i < 4; i++ {
+				if row[c0+i] != 0 {
+					alive++
+				}
+			}
+			if alive > 2 {
+				t.Fatalf("group at (%d,%d) kept %d of 4", r, c0, alive)
+			}
+		}
+	}
+	if got := mask.Sparsity(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("2:4 sparsity %v, want 0.5", got)
+	}
+}
+
+func TestNMMaskKeepsLargest(t *testing.T) {
+	w := tensor.FromSlice([]float32{1, -9, 0.5, 4}, 1, 4)
+	pruned := w.Clone()
+	NMMask(w, 2, 4).Apply(pruned)
+	want := []float32{0, -9, 0, 4}
+	for i, v := range want {
+		if pruned.Data[i] != v {
+			t.Fatalf("2:4 kept %v, want %v", pruned.Data, want)
+		}
+	}
+}
+
+func TestNMMaskRemainderUnpruned(t *testing.T) {
+	w := tensor.Ones(1, 6) // 6 = 4 + 2 remainder
+	pruned := w.Clone()
+	NMMask(w, 2, 4).Apply(pruned)
+	if pruned.Data[4] != 1 || pruned.Data[5] != 1 {
+		t.Fatal("remainder columns must stay unpruned")
+	}
+}
+
+func TestNMMaskValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid N:M must panic")
+		}
+	}()
+	NMMask(tensor.Ones(2, 4), 5, 4)
+}
+
+func TestErrorMonotoneInRatio(t *testing.T) {
+	g := tensor.NewRNG(5)
+	w := g.Normal(0, 1, 32, 32)
+	prev := -1.0
+	for _, ratio := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		e := Error(w, ratio)
+		if e < prev {
+			t.Fatalf("pruning error must grow with ratio: %v < %v at %v", e, prev, ratio)
+		}
+		prev = e
+	}
+	if Error(w, 0) != 0 {
+		t.Fatal("zero-ratio pruning must be lossless")
+	}
+}
+
+func TestRelativeErrorNormalised(t *testing.T) {
+	g := tensor.NewRNG(6)
+	w := g.Normal(0, 1, 16, 16)
+	scaled := tensor.Scale(w, 100)
+	a, b := RelativeError(w, 0.5), RelativeError(scaled, 0.5)
+	if math.Abs(a-b) > 1e-6 {
+		t.Fatalf("relative error must be scale-invariant: %v vs %v", a, b)
+	}
+	if RelativeError(tensor.New(4, 4), 0.5) != 0 {
+		t.Fatal("all-zero tensor has zero relative error")
+	}
+}
+
+func TestPropMaskSparsityMatchesTensor(t *testing.T) {
+	f := func(seed int64, r8 uint8) bool {
+		ratio := float64(r8) / 255
+		g := tensor.NewRNG(seed)
+		w := g.Normal(0, 1, 9, 7)
+		m := PruneInPlace(w, ratio)
+		// Normal() never produces exact zeros, so tensor sparsity must
+		// equal mask sparsity exactly.
+		return math.Abs(w.Sparsity()-m.Sparsity()) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPrunedValuesAreSmallest(t *testing.T) {
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		w := g.Normal(0, 1, 8, 8)
+		pruned := w.Clone()
+		PruneInPlace(pruned, 0.5)
+		// max |dropped| must be ≤ min |kept|
+		var maxDropped, minKept float64 = 0, math.Inf(1)
+		for i := range w.Data {
+			a := math.Abs(float64(w.Data[i]))
+			if pruned.Data[i] == 0 {
+				if a > maxDropped {
+					maxDropped = a
+				}
+			} else if a < minKept {
+				minKept = a
+			}
+		}
+		return maxDropped <= minKept
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

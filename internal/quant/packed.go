@@ -1,0 +1,115 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"edgellm/internal/tensor"
+)
+
+// Packed is a real integer-packed representation of a symmetrically
+// quantized rank-2 tensor: sub-byte codes are bit-packed contiguously, with
+// one float32 scale per output channel. It exists to demonstrate (and test)
+// that the storage accounting used by the experiments corresponds to an
+// actual executable format, not just arithmetic on paper.
+type Packed struct {
+	Bits  int
+	Rows  int
+	Cols  int
+	Codes []byte    // ceil(Rows*Cols*Bits/8) bytes, row-major bit stream
+	Scale []float32 // one per column
+}
+
+// Pack quantizes t (rank-2) symmetrically per channel at the given width
+// and packs the signed codes into a bit stream.
+func Pack(t *tensor.Tensor, bits int) *Packed {
+	if bits < 2 || bits > 8 {
+		panic(fmt.Sprintf("quant: Pack bits %d out of [2,8]", bits))
+	}
+	rows, cols := t.Rows(), t.Cols()
+	p := &Packed{
+		Bits: bits, Rows: rows, Cols: cols,
+		Codes: make([]byte, (rows*cols*bits+7)/8),
+		Scale: make([]float32, cols),
+	}
+	qmax := float64(int(1)<<(bits-1)) - 1
+	for c := 0; c < cols; c++ {
+		var absMax float64
+		for r := 0; r < rows; r++ {
+			a := math.Abs(float64(t.At(r, c)))
+			if a > absMax {
+				absMax = a
+			}
+		}
+		if absMax == 0 {
+			p.Scale[c] = 0
+			continue
+		}
+		p.Scale[c] = float32(absMax / qmax)
+	}
+	bit := 0
+	mask := byte((1 << bits) - 1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			var q int
+			if p.Scale[c] != 0 {
+				q = int(math.Round(float64(t.At(r, c)) / float64(p.Scale[c])))
+				if q > int(qmax) {
+					q = int(qmax)
+				}
+				if q < -int(qmax) {
+					q = -int(qmax)
+				}
+			}
+			code := byte(q) & mask // two's-complement truncated to bits
+			writeBits(p.Codes, bit, bits, code)
+			bit += bits
+		}
+	}
+	return p
+}
+
+// Unpack reconstructs the dequantized tensor.
+func (p *Packed) Unpack() *tensor.Tensor {
+	out := tensor.New(p.Rows, p.Cols)
+	bit := 0
+	signBit := byte(1 << (p.Bits - 1))
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			code := readBits(p.Codes, bit, p.Bits)
+			bit += p.Bits
+			q := int(code)
+			if code&signBit != 0 { // sign-extend
+				q -= 1 << p.Bits
+			}
+			out.Set(r, c, float32(q)*p.Scale[c])
+		}
+	}
+	return out
+}
+
+// StorageBytes returns the bytes held by the packed representation
+// (codes + scales).
+func (p *Packed) StorageBytes() int64 {
+	return int64(len(p.Codes)) + int64(len(p.Scale))*4
+}
+
+// writeBits stores the low `width` bits of code at bit offset `pos`.
+func writeBits(buf []byte, pos, width int, code byte) {
+	for i := 0; i < width; i++ {
+		if code&(1<<i) != 0 {
+			buf[(pos+i)/8] |= 1 << ((pos + i) % 8)
+		}
+	}
+}
+
+// readBits extracts `width` bits starting at bit offset `pos`.
+func readBits(buf []byte, pos, width int) byte {
+	var code byte
+	for i := 0; i < width; i++ {
+		if buf[(pos+i)/8]&(1<<((pos+i)%8)) != 0 {
+			code |= 1 << i
+		}
+	}
+	return code
+}

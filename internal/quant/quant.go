@@ -1,0 +1,208 @@
+// Package quant implements the uniform quantizers used by Edge-LLM's
+// layerwise unified compression (LUC): symmetric and asymmetric affine
+// quantization at 2–8 bits, with per-tensor, per-channel, or grouped scale
+// granularity, plus the fake-quant (quantize→dequantize) transform the
+// compression pass applies to frozen backbone weights and the error metrics
+// the sensitivity probe is built on.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"edgellm/internal/tensor"
+)
+
+// Scheme describes one quantization configuration.
+type Scheme struct {
+	// Bits is the integer width, 2..8.
+	Bits int
+	// Symmetric selects signed symmetric quantization (zero-point 0);
+	// otherwise asymmetric affine quantization is used.
+	Symmetric bool
+	// PerChannel computes one scale per output channel (column of a
+	// (in,out) weight matrix) instead of one per tensor.
+	PerChannel bool
+	// GroupSize, when > 0, splits each channel's input dimension into
+	// groups of this many rows with independent scales (GPTQ-style).
+	// Requires PerChannel.
+	GroupSize int
+}
+
+// Validate reports the first invalid field.
+func (s Scheme) Validate() error {
+	if s.Bits < 2 || s.Bits > 8 {
+		return fmt.Errorf("quant: bits must be in [2,8], got %d", s.Bits)
+	}
+	if s.GroupSize < 0 {
+		return fmt.Errorf("quant: negative group size %d", s.GroupSize)
+	}
+	if s.GroupSize > 0 && !s.PerChannel {
+		return fmt.Errorf("quant: grouped quantization requires PerChannel")
+	}
+	return nil
+}
+
+// String renders the scheme compactly, e.g. "int4-sym-pc-g32".
+func (s Scheme) String() string {
+	out := fmt.Sprintf("int%d", s.Bits)
+	if s.Symmetric {
+		out += "-sym"
+	} else {
+		out += "-asym"
+	}
+	if s.PerChannel {
+		out += "-pc"
+	}
+	if s.GroupSize > 0 {
+		out += fmt.Sprintf("-g%d", s.GroupSize)
+	}
+	return out
+}
+
+// qRange returns the integer range of the scheme.
+func (s Scheme) qRange() (qmin, qmax float64) {
+	if s.Symmetric {
+		m := float64(int(1)<<(s.Bits-1)) - 1 // e.g. 7 for 4-bit
+		return -m, m
+	}
+	return 0, float64(int(1)<<s.Bits) - 1
+}
+
+// quantizeSlice fake-quantizes src into dst given its min/max statistics.
+func (s Scheme) quantizeSlice(dst, src []float32, stride int, lo, hi float32) {
+	qmin, qmax := s.qRange()
+	var scale, zp float64
+	if s.Symmetric {
+		absMax := math.Max(math.Abs(float64(lo)), math.Abs(float64(hi)))
+		if absMax == 0 {
+			for i := 0; i < len(src); i += stride {
+				dst[i] = 0
+			}
+			return
+		}
+		scale = absMax / qmax
+	} else {
+		if hi == lo {
+			for i := 0; i < len(src); i += stride {
+				dst[i] = lo
+			}
+			return
+		}
+		scale = (float64(hi) - float64(lo)) / qmax
+		zp = math.Round(-float64(lo) / scale)
+	}
+	for i := 0; i < len(src); i += stride {
+		q := math.Round(float64(src[i])/scale + zp)
+		if q < qmin {
+			q = qmin
+		}
+		if q > qmax {
+			q = qmax
+		}
+		dst[i] = float32((q - zp) * scale)
+	}
+}
+
+func minMaxStrided(src []float32, stride int) (lo, hi float32) {
+	lo, hi = float32(math.Inf(1)), float32(math.Inf(-1))
+	for i := 0; i < len(src); i += stride {
+		v := src[i]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// FakeQuant returns a new tensor equal to t passed through
+// quantize→dequantize under the scheme. Rank-2 tensors support per-channel
+// and grouped granularity; other ranks are quantized per-tensor.
+func (s Scheme) FakeQuant(t *tensor.Tensor) *tensor.Tensor {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	out := t.Clone()
+	if !s.PerChannel || t.Rank() != 2 {
+		lo, hi := minMaxStrided(t.Data, 1)
+		s.quantizeSlice(out.Data, t.Data, 1, lo, hi)
+		return out
+	}
+	rows, cols := t.Rows(), t.Cols()
+	group := s.GroupSize
+	if group <= 0 || group > rows {
+		group = rows
+	}
+	for c := 0; c < cols; c++ {
+		for r0 := 0; r0 < rows; r0 += group {
+			r1 := r0 + group
+			if r1 > rows {
+				r1 = rows
+			}
+			// strided view of column c, rows [r0, r1)
+			src := t.Data[r0*cols+c : (r1-1)*cols+c+1]
+			dst := out.Data[r0*cols+c : (r1-1)*cols+c+1]
+			lo, hi := minMaxStrided(src, cols)
+			s.quantizeSlice(dst, src, cols, lo, hi)
+		}
+	}
+	return out
+}
+
+// FakeQuantInPlace overwrites t with its fake-quantized version.
+func (s Scheme) FakeQuantInPlace(t *tensor.Tensor) {
+	t.CopyFrom(s.FakeQuant(t))
+}
+
+// Error returns the mean squared error introduced by fake-quantizing t.
+func (s Scheme) Error(t *tensor.Tensor) float64 {
+	return tensor.MSE(s.FakeQuant(t), t)
+}
+
+// RelativeError returns the quantization MSE normalised by the tensor's
+// mean square value, making errors comparable across layers of different
+// magnitude — the form LUC's sensitivity probe uses.
+func (s Scheme) RelativeError(t *tensor.Tensor) float64 {
+	var ms float64
+	for _, v := range t.Data {
+		ms += float64(v) * float64(v)
+	}
+	ms /= float64(t.Len())
+	if ms == 0 {
+		return 0
+	}
+	return s.Error(t) / ms
+}
+
+// numScales returns how many scale parameters the scheme stores for shape.
+func (s Scheme) numScales(shape []int) int64 {
+	if !s.PerChannel || len(shape) != 2 {
+		return 1
+	}
+	rows, cols := int64(shape[0]), int64(shape[1])
+	group := int64(s.GroupSize)
+	if group <= 0 || group > rows {
+		group = rows
+	}
+	groups := (rows + group - 1) / group
+	return cols * groups
+}
+
+// StorageBits returns the total stored bits for a tensor of the given shape
+// under the scheme: payload bits plus float16 scales (and zero-points for
+// asymmetric schemes).
+func (s Scheme) StorageBits(shape []int) int64 {
+	n := int64(1)
+	for _, d := range shape {
+		n *= int64(d)
+	}
+	bits := n * int64(s.Bits)
+	overheadPerScale := int64(16)
+	if !s.Symmetric {
+		overheadPerScale += 16 // zero-point
+	}
+	return bits + s.numScales(shape)*overheadPerScale
+}

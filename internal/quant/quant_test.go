@@ -1,0 +1,258 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgellm/internal/tensor"
+)
+
+func TestSchemeValidate(t *testing.T) {
+	good := []Scheme{
+		{Bits: 2, Symmetric: true},
+		{Bits: 8},
+		{Bits: 4, PerChannel: true, GroupSize: 16},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v should be valid: %v", s, err)
+		}
+	}
+	bad := []Scheme{
+		{Bits: 1},
+		{Bits: 9},
+		{Bits: 4, GroupSize: -1},
+		{Bits: 4, GroupSize: 8}, // group without per-channel
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", s)
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	s := Scheme{Bits: 4, Symmetric: true, PerChannel: true, GroupSize: 32}
+	if s.String() != "int4-sym-pc-g32" {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestFakeQuantIdempotent(t *testing.T) {
+	g := tensor.NewRNG(1)
+	w := g.Normal(0, 1, 16, 8)
+	for _, s := range []Scheme{
+		{Bits: 4, Symmetric: true},
+		{Bits: 4},
+		{Bits: 3, Symmetric: true, PerChannel: true},
+		{Bits: 4, Symmetric: true, PerChannel: true, GroupSize: 4},
+	} {
+		once := s.FakeQuant(w)
+		twice := s.FakeQuant(once)
+		if !tensor.AllClose(once, twice, 1e-6, 1e-6) {
+			t.Fatalf("%v: fake-quant must be idempotent", s)
+		}
+	}
+}
+
+func TestFakeQuantPreservesZeros(t *testing.T) {
+	// Symmetric quantization maps 0 → 0 exactly — required so pruning
+	// masks survive subsequent quantization (the LUC unified-compression
+	// invariant).
+	g := tensor.NewRNG(2)
+	w := g.Normal(0, 1, 12, 12)
+	for i := 0; i < len(w.Data); i += 3 {
+		w.Data[i] = 0
+	}
+	for _, s := range []Scheme{
+		{Bits: 2, Symmetric: true},
+		{Bits: 4, Symmetric: true, PerChannel: true},
+		{Bits: 8, Symmetric: true, PerChannel: true, GroupSize: 4},
+	} {
+		q := s.FakeQuant(w)
+		for i := 0; i < len(w.Data); i += 3 {
+			if q.Data[i] != 0 {
+				t.Fatalf("%v: zero became %v", s, q.Data[i])
+			}
+		}
+	}
+}
+
+func TestFakeQuantBoundedError(t *testing.T) {
+	// Every dequantized value must lie within half a quantization step of
+	// the input (for values inside the clipping range).
+	g := tensor.NewRNG(3)
+	w := g.Uniform(-2, 2, 20, 10)
+	s := Scheme{Bits: 8, Symmetric: true}
+	q := s.FakeQuant(w)
+	qmax := 127.0
+	step := float64(w.AbsMax()) / qmax
+	for i := range w.Data {
+		if math.Abs(float64(q.Data[i]-w.Data[i])) > step/2+1e-6 {
+			t.Fatalf("error exceeds half step at %d: %v vs %v", i, q.Data[i], w.Data[i])
+		}
+	}
+}
+
+func TestMoreBitsLessError(t *testing.T) {
+	g := tensor.NewRNG(4)
+	w := g.Normal(0, 1, 64, 64)
+	prev := math.Inf(1)
+	for _, bits := range []int{2, 3, 4, 6, 8} {
+		e := Scheme{Bits: bits, Symmetric: true}.Error(w)
+		if e >= prev {
+			t.Fatalf("error must fall with bits: int%d %.6g ≥ %.6g", bits, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestPerChannelBeatsPerTensorOnScaledChannels(t *testing.T) {
+	// Construct a weight whose channels have wildly different magnitudes —
+	// the regime where per-channel scaling matters.
+	g := tensor.NewRNG(5)
+	w := g.Normal(0, 1, 32, 8)
+	for c := 0; c < 8; c++ {
+		scale := float32(math.Pow(4, float64(c)))
+		for r := 0; r < 32; r++ {
+			w.Set(r, c, w.At(r, c)*scale)
+		}
+	}
+	pt := Scheme{Bits: 4, Symmetric: true}.RelativeError(w)
+	pc := Scheme{Bits: 4, Symmetric: true, PerChannel: true}.RelativeError(w)
+	if pc >= pt {
+		t.Fatalf("per-channel (%.4g) must beat per-tensor (%.4g) here", pc, pt)
+	}
+}
+
+func TestGroupedBeatsPerChannelOnOutliers(t *testing.T) {
+	// Inject one huge outlier per channel: grouping isolates it.
+	g := tensor.NewRNG(6)
+	w := g.Normal(0, 0.1, 64, 4)
+	for c := 0; c < 4; c++ {
+		w.Set(0, c, 50)
+	}
+	pc := Scheme{Bits: 4, Symmetric: true, PerChannel: true}.Error(w)
+	gr := Scheme{Bits: 4, Symmetric: true, PerChannel: true, GroupSize: 8}.Error(w)
+	if gr >= pc {
+		t.Fatalf("grouped (%.4g) must beat per-channel (%.4g) with outliers", gr, pc)
+	}
+}
+
+func TestAsymmetricBeatsSymmetricOnShiftedData(t *testing.T) {
+	g := tensor.NewRNG(7)
+	w := g.Uniform(3, 5, 32, 32) // all-positive, far from zero
+	sym := Scheme{Bits: 4, Symmetric: true}.Error(w)
+	asym := Scheme{Bits: 4}.Error(w)
+	if asym >= sym {
+		t.Fatalf("asymmetric (%.4g) must beat symmetric (%.4g) on shifted data", asym, sym)
+	}
+}
+
+func TestConstantTensorQuantizesExactly(t *testing.T) {
+	w := tensor.Full(3.7, 5, 5)
+	q := Scheme{Bits: 2}.FakeQuant(w) // asymmetric handles hi==lo
+	if !tensor.AllClose(q, w, 1e-6, 1e-6) {
+		t.Fatal("constant tensor must quantize exactly under asymmetric scheme")
+	}
+	z := tensor.New(4, 4)
+	qz := Scheme{Bits: 2, Symmetric: true}.FakeQuant(z)
+	if qz.AbsMax() != 0 {
+		t.Fatal("all-zero tensor must stay zero")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	shape := []int{64, 32}
+	// per-tensor symmetric: payload + one fp16 scale
+	s := Scheme{Bits: 4, Symmetric: true}
+	if got, want := s.StorageBits(shape), int64(64*32*4+16); got != want {
+		t.Fatalf("per-tensor bits %d want %d", got, want)
+	}
+	// per-channel grouped: one scale per (column × group)
+	s = Scheme{Bits: 4, Symmetric: true, PerChannel: true, GroupSize: 16}
+	if got, want := s.StorageBits(shape), int64(64*32*4+32*4*16); got != want {
+		t.Fatalf("grouped bits %d want %d", got, want)
+	}
+	// asymmetric adds zero-points
+	s = Scheme{Bits: 8, PerChannel: true}
+	if got, want := s.StorageBits(shape), int64(64*32*8+32*(16+16)); got != want {
+		t.Fatalf("asym bits %d want %d", got, want)
+	}
+}
+
+func TestPackUnpackMatchesFakeQuant(t *testing.T) {
+	g := tensor.NewRNG(8)
+	w := g.Normal(0, 1, 13, 7) // deliberately non-multiple-of-8 size
+	for _, bits := range []int{2, 3, 4, 8} {
+		p := Pack(w, bits)
+		got := p.Unpack()
+		// Pack uses symmetric per-channel quantization; compare to the
+		// matching fake-quant (both use round-half-away and clamp).
+		want := Scheme{Bits: bits, Symmetric: true, PerChannel: true}.FakeQuant(w)
+		if !tensor.AllClose(got, want, 1e-5, 1e-5) {
+			t.Fatalf("int%d pack/unpack disagrees with fake-quant", bits)
+		}
+	}
+}
+
+func TestPackedStorageMatchesAccounting(t *testing.T) {
+	g := tensor.NewRNG(9)
+	w := g.Normal(0, 1, 64, 32)
+	p := Pack(w, 4)
+	wantCodes := int64(64 * 32 * 4 / 8)
+	if got := p.StorageBytes(); got != wantCodes+32*4 {
+		t.Fatalf("packed storage %d bytes, want %d", got, wantCodes+32*4)
+	}
+}
+
+func TestPropQuantErrorNonNegativeAndBounded(t *testing.T) {
+	f := func(seed int64, bits8 uint8, sym bool) bool {
+		bits := int(bits8%7) + 2
+		g := tensor.NewRNG(seed)
+		w := g.Normal(0, 1, 8, 8)
+		s := Scheme{Bits: bits, Symmetric: sym}
+		e := s.Error(w)
+		// error is non-negative and below the tensor's mean square (weak
+		// but universal bound for ≥2-bit quantization of a full-range
+		// signal)
+		var ms float64
+		for _, v := range w.Data {
+			ms += float64(v) * float64(v)
+		}
+		ms /= float64(w.Len())
+		return e >= 0 && e < ms
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPackRoundtripWithinStep(t *testing.T) {
+	f := func(seed int64, bits8 uint8) bool {
+		bits := int(bits8%7) + 2
+		g := tensor.NewRNG(seed)
+		w := g.Normal(0, 1, 9, 5)
+		back := Pack(w, bits).Unpack()
+		qmax := float64(int(1)<<(bits-1)) - 1
+		for c := 0; c < 5; c++ {
+			var absMax float64
+			for r := 0; r < 9; r++ {
+				if a := math.Abs(float64(w.At(r, c))); a > absMax {
+					absMax = a
+				}
+			}
+			step := absMax / qmax
+			for r := 0; r < 9; r++ {
+				if math.Abs(float64(back.At(r, c)-w.At(r, c))) > step/2+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

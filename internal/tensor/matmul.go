@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockSize is the cache-blocking tile edge used by MatMul. 64 keeps three
+// float32 tiles (~48KB) inside a typical L1+L2 working set.
+const blockSize = 64
+
+// parallelThreshold is the MAC count above which MatMulInto fans out row
+// bands to worker goroutines. Below it the goroutine overhead dominates.
+const parallelThreshold = 1 << 20
+
+// MatMul returns a × b for rank-2 tensors, (m,k)×(k,n) → (m,n).
+//
+// The kernel is a blocked i-k-j loop: the k-major inner ordering turns the
+// innermost loop into a scaled row accumulation, which the compiler
+// vectorises well and which touches b row-contiguously.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a × b, reusing out's storage. out must have
+// shape (a.Rows(), b.Cols()) and is overwritten.
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.Rows(), a.Cols()
+	n := b.Cols()
+	if b.Rows() != k || out.Rows() != m || out.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch out %v = %v × %v", out.Shape, a.Shape, b.Shape))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	// Rows are independent, so the row range can be banded across
+	// goroutines without changing results (each band owns its output rows).
+	workers := 1
+	if macs := m * n * k; macs >= parallelThreshold {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > m {
+			workers = m
+		}
+	}
+	if workers <= 1 {
+		matmulRows(out, a, b, 0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += band {
+		hi := min(lo+band, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes out rows [rowLo, rowHi) of a × b with cache blocking.
+func matmulRows(out, a, b *Tensor, rowLo, rowHi int) {
+	k, n := a.Cols(), b.Cols()
+	for i0 := rowLo; i0 < rowHi; i0 += blockSize {
+		iMax := min(i0+blockSize, rowHi)
+		for k0 := 0; k0 < k; k0 += blockSize {
+			kMax := min(k0+blockSize, k)
+			for i := i0; i < iMax; i++ {
+				aRow := a.Data[i*k : (i+1)*k]
+				outRow := out.Data[i*n : (i+1)*n]
+				for kk := k0; kk < kMax; kk++ {
+					av := aRow[kk]
+					if av == 0 {
+						continue
+					}
+					bRow := b.Data[kk*n : (kk+1)*n]
+					for j, bv := range bRow {
+						outRow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulT returns a × bᵀ, (m,k)×(n,k) → (m,n). This layout is the natural
+// one for gradient computation (dX = dY × Wᵀ) and for weight matrices
+// stored output-major.
+func MatMulT(a, bT *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	n, k2 := bT.Rows(), bT.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v × %vᵀ", a.Shape, bT.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		aRow := a.Data[i*k : (i+1)*k]
+		outRow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bRow := bT.Data[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range aRow {
+				s += av * bRow[kk]
+			}
+			outRow[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ × b, (k,m)×(k,n) → (m,n). This is the natural layout
+// for weight gradients (dW = Xᵀ × dY).
+func TMatMul(aT, b *Tensor) *Tensor {
+	k, m := aT.Rows(), aT.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dimension mismatch %vᵀ × %v", aT.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		aRow := aT.Data[kk*m : (kk+1)*m]
+		bRow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			outRow := out.Data[i*n : (i+1)*n]
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(t *Tensor) *Tensor {
+	r, c := t.Rows(), t.Cols()
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			out.Data[j*r+i] = v
+		}
+	}
+	return out
+}
+
+// MatVec returns a × x for a rank-2 a (m,k) and rank-1 x (k) → rank-1 (m).
+func MatVec(a, x *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	if x.Rank() != 1 || x.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v × %v", a.Shape, x.Shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		var s float64
+		for kk, v := range row {
+			s += float64(v) * float64(x.Data[kk])
+		}
+		out.Data[i] = float32(s)
+	}
+	return out
+}
+
+// AddRowBroadcast adds a rank-1 bias (length c) to every row of a rank-2
+// tensor (r,c), in place.
+func (t *Tensor) AddRowBroadcast(bias *Tensor) {
+	c := t.Cols()
+	if bias.Rank() != 1 || bias.Shape[0] != c {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast bias %v incompatible with %v", bias.Shape, t.Shape))
+	}
+	r := t.Rows()
+	for i := 0; i < r; i++ {
+		row := t.Row(i)
+		for j, v := range bias.Data {
+			row[j] += v
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

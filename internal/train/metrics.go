@@ -1,0 +1,93 @@
+package train
+
+import (
+	"math"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/data"
+	"edgellm/internal/nn"
+)
+
+// Perplexity converts a mean cross-entropy (nats/token) to perplexity.
+func Perplexity(meanCE float64) float64 { return math.Exp(meanCE) }
+
+// EvalPerplexity measures the model's perplexity over deterministic
+// sequential batches of the corpus. The model is evaluated frozen (no tape
+// is recorded regardless of RequiresGrad flags, because CrossEntropy's
+// value is read directly and Backward is never called — but we detach
+// anyway to keep eval allocation-free).
+func EvalPerplexity(m *nn.Model, c *data.Corpus, batchSize, seqLen, maxBatches int) float64 {
+	batches, targets := c.SequentialBatches(batchSize, seqLen, maxBatches)
+	return EvalPerplexityWith(func(b [][]int) *ag.Value { return m.Logits(b) }, batches, targets)
+}
+
+// EvalPerplexityWith measures perplexity with a caller-supplied forward
+// function — used to evaluate exit heads and voting ensembles with the same
+// protocol as the final head.
+func EvalPerplexityWith(forward func([][]int) *ag.Value, batches [][][]int, targets [][]int) float64 {
+	var totalCE float64
+	var n int
+	for i, b := range batches {
+		logits := forward(b).Detach()
+		ce := ag.CrossEntropy(logits, targets[i], -1)
+		totalCE += float64(ce.Data.Data[0]) * float64(len(targets[i]))
+		n += len(targets[i])
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return Perplexity(totalCE / float64(n))
+}
+
+// SequenceLogProb returns the summed log-probability of the supervised
+// targets (ignoreIndex skipped) under the given logits. Used for MCQ
+// option scoring.
+func SequenceLogProb(logits *ag.Value, targets []int, ignoreIndex int) float64 {
+	n, vocab := logits.Data.Rows(), logits.Data.Cols()
+	var sum float64
+	for i := 0; i < n; i++ {
+		t := targets[i]
+		if t == ignoreIndex {
+			continue
+		}
+		row := logits.Data.Row(i)
+		// log softmax at index t
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var denom float64
+		for j := 0; j < vocab; j++ {
+			denom += math.Exp(float64(row[j] - maxV))
+		}
+		sum += float64(row[t]-maxV) - math.Log(denom)
+	}
+	return sum
+}
+
+// MCQAccuracy answers every example by scoring each option's likelihood
+// with the supplied forward function and returns the fraction answered
+// correctly.
+func MCQAccuracy(forward func([][]int) *ag.Value, examples []data.MCQExample) float64 {
+	if len(examples) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for _, e := range examples {
+		inputs, targets := e.ScoreSequences(-1)
+		best, bestScore := -1, math.Inf(-1)
+		for o := range inputs {
+			logits := forward([][]int{inputs[o]}).Detach()
+			score := SequenceLogProb(logits, targets[o], -1)
+			if score > bestScore {
+				best, bestScore = o, score
+			}
+		}
+		if best == e.Answer {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}

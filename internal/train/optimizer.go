@@ -1,0 +1,157 @@
+// Package train provides the adaptation substrate: optimizers (SGD with
+// momentum, AdamW), learning-rate schedules, a training-step driver with
+// gradient clipping, perplexity evaluation, and the analytic memory
+// accountant that the Edge-LLM experiments use to report tuning memory.
+package train
+
+import (
+	"math"
+
+	"edgellm/internal/nn"
+	"edgellm/internal/tensor"
+)
+
+// Optimizer updates parameters from accumulated gradients. State is created
+// lazily per parameter name, so — exactly as in Edge-LLM's adaptive layer
+// tuning — parameters that never receive a gradient never allocate
+// optimizer state.
+type Optimizer interface {
+	// Step applies one update to every parameter carrying a gradient and
+	// leaves gradients untouched (the Trainer clears them).
+	Step(params []nn.NamedParam, lr float32)
+	// StateBytes reports the optimizer-state footprint in bytes.
+	StateBytes() int64
+	// BytesPerElement is the analytic per-element state cost, used by the
+	// memory accountant to predict footprints before training.
+	BytesPerElement() int64
+	// Name identifies the optimizer in reports.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// weight decay.
+type SGD struct {
+	Momentum    float32
+	WeightDecay float32
+
+	vel map[string]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer. momentum 0 disables velocity state.
+func NewSGD(momentum, weightDecay float32) *SGD {
+	return &SGD{Momentum: momentum, WeightDecay: weightDecay, vel: map[string]*tensor.Tensor{}}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []nn.NamedParam, lr float32) {
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		if s.WeightDecay != 0 {
+			p.Value.Data.ScaleInPlace(1 - lr*s.WeightDecay)
+		}
+		if s.Momentum == 0 {
+			p.Value.Data.AxpyInPlace(-lr, p.Value.Grad)
+			continue
+		}
+		v := s.vel[p.Name]
+		if v == nil {
+			v = tensor.New(p.Value.Data.Shape...)
+			s.vel[p.Name] = v
+		}
+		v.ScaleInPlace(s.Momentum)
+		v.AxpyInPlace(1, p.Value.Grad)
+		p.Value.Data.AxpyInPlace(-lr, v)
+	}
+}
+
+// StateBytes implements Optimizer.
+func (s *SGD) StateBytes() int64 {
+	var n int64
+	for _, v := range s.vel {
+		n += int64(v.Len()) * 4
+	}
+	return n
+}
+
+// BytesPerElement implements Optimizer.
+func (s *SGD) BytesPerElement() int64 {
+	if s.Momentum == 0 {
+		return 0
+	}
+	return 4
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// AdamW is Adam with decoupled weight decay (Loshchilov & Hutter).
+type AdamW struct {
+	Beta1, Beta2 float32
+	Eps          float32
+	WeightDecay  float32
+
+	step int
+	m, v map[string]*tensor.Tensor
+}
+
+// NewAdamW returns an AdamW optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdamW(weightDecay float32) *AdamW {
+	return &AdamW{
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: map[string]*tensor.Tensor{}, v: map[string]*tensor.Tensor{},
+	}
+}
+
+// Step implements Optimizer.
+func (a *AdamW) Step(params []nn.NamedParam, lr float32) {
+	a.step++
+	bc1 := 1 - math.Pow(float64(a.Beta1), float64(a.step))
+	bc2 := 1 - math.Pow(float64(a.Beta2), float64(a.step))
+	for _, p := range params {
+		g := p.Value.Grad
+		if g == nil {
+			continue
+		}
+		m := a.m[p.Name]
+		v := a.v[p.Name]
+		if m == nil {
+			m = tensor.New(p.Value.Data.Shape...)
+			v = tensor.New(p.Value.Data.Shape...)
+			a.m[p.Name] = m
+			a.v[p.Name] = v
+		}
+		if a.WeightDecay != 0 {
+			p.Value.Data.ScaleInPlace(1 - lr*a.WeightDecay)
+		}
+		w := p.Value.Data
+		for i := range w.Data {
+			gi := g.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
+			mHat := float64(m.Data[i]) / bc1
+			vHat := float64(v.Data[i]) / bc2
+			w.Data[i] -= lr * float32(mHat/(math.Sqrt(vHat)+float64(a.Eps)))
+		}
+	}
+}
+
+// StateBytes implements Optimizer.
+func (a *AdamW) StateBytes() int64 {
+	var n int64
+	for _, t := range a.m {
+		n += int64(t.Len()) * 4
+	}
+	for _, t := range a.v {
+		n += int64(t.Len()) * 4
+	}
+	return n
+}
+
+// BytesPerElement implements Optimizer.
+func (a *AdamW) BytesPerElement() int64 { return 8 }
+
+// Name implements Optimizer.
+func (a *AdamW) Name() string { return "adamw" }

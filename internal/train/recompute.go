@@ -1,0 +1,83 @@
+package train
+
+import (
+	"fmt"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/nn"
+)
+
+// CheckpointedStep implements activation (gradient) checkpointing — the
+// standard memory-reduction baseline Edge-LLM's windowed tuning competes
+// with. The block stack is split into segments; the forward pass stores
+// only the detached segment-boundary activations (no tape), then the
+// backward pass re-runs each segment with a tape, propagating the boundary
+// gradient chain from the loss back to segment 0. Peak activation memory
+// is one segment's tape instead of the whole stack's, at the price of a
+// second forward pass.
+//
+// It returns the loss value; parameter gradients are accumulated exactly
+// as full backpropagation would (the tests assert bitwise-comparable
+// results), so the caller applies the optimizer afterwards.
+func CheckpointedStep(m *nn.Model, inputs [][]int, targets []int, segments int) float64 {
+	L := len(m.Blocks)
+	if segments < 1 || segments > L {
+		panic(fmt.Sprintf("train: segments %d out of [1,%d]", segments, L))
+	}
+	b := len(inputs)
+	t := len(inputs[0])
+
+	// Segment boundaries: segment s covers blocks [starts[s], starts[s+1]).
+	starts := make([]int, segments+1)
+	for s := 0; s <= segments; s++ {
+		starts[s] = s * L / segments
+	}
+
+	// --- tape-free forward, keeping boundary activations -------------------
+	// Embedding runs with its tape (cheap, and its params need grads).
+	embed := m.Embed(inputs)
+	boundaries := make([]*ag.Value, segments+1)
+	boundaries[0] = embed.Detach()
+	x := boundaries[0]
+	for s := 0; s < segments; s++ {
+		for i := starts[s]; i < starts[s+1]; i++ {
+			x = m.Blocks[i].Forward(x, b, t)
+		}
+		x = x.Detach() // no tape was recorded (input was constant) — keep data only
+		boundaries[s+1] = x
+	}
+
+	// --- head forward+backward, with tape ----------------------------------
+	headIn := ag.Param(boundaries[segments].Data) // grad collector for the boundary
+	headIn.RequiresGrad = true
+	logits := m.LMHead.Forward(m.Norm.Forward(headIn))
+	loss := ag.CrossEntropy(logits, targets, -1)
+	lossVal := float64(loss.Data.Data[0])
+	loss.Backward()
+	upstream := headIn.Grad
+
+	// --- segment-wise recompute backward, deepest first --------------------
+	for s := segments - 1; s >= 0; s-- {
+		segIn := ag.Param(boundaries[s].Data)
+		segIn.RequiresGrad = true
+		y := segIn
+		for i := starts[s]; i < starts[s+1]; i++ {
+			y = m.Blocks[i].Forward(y, b, t)
+		}
+		y.BackwardWithGrad(upstream)
+		upstream = segIn.Grad
+	}
+
+	// --- embedding backward --------------------------------------------------
+	embed.BackwardWithGrad(upstream)
+	return lossVal
+}
+
+// CheckpointedSpec adapts a MemorySpec to segment-recompute accounting:
+// the tape never holds more than ⌈Layers/segments⌉ blocks (plus the loss
+// head, which EstimateMemory already counts).
+func CheckpointedSpec(spec MemorySpec, segments int) MemorySpec {
+	perSeg := (spec.Cfg.Layers + segments - 1) / segments
+	spec.TapeBlocks = perSeg
+	return spec
+}

@@ -1,0 +1,101 @@
+package train
+
+import (
+	"math"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/nn"
+)
+
+// Schedule maps a 0-based step index to a learning-rate multiplier.
+type Schedule func(step int) float64
+
+// ConstantSchedule keeps the multiplier at 1.
+func ConstantSchedule() Schedule { return func(int) float64 { return 1 } }
+
+// CosineSchedule decays from 1 to floor over totalSteps with optional
+// linear warmup.
+func CosineSchedule(warmup, totalSteps int, floor float64) Schedule {
+	return func(step int) float64 {
+		if warmup > 0 && step < warmup {
+			return float64(step+1) / float64(warmup)
+		}
+		if step >= totalSteps {
+			return floor
+		}
+		progress := float64(step-warmup) / float64(totalSteps-warmup)
+		return floor + (1-floor)*0.5*(1+math.Cos(math.Pi*progress))
+	}
+}
+
+// Trainer drives optimization steps: backward, global-norm clipping,
+// optimizer update, gradient reset.
+type Trainer struct {
+	Opt Optimizer
+	// BaseLR is multiplied by the Schedule each step.
+	BaseLR float32
+	// ClipNorm bounds the global gradient L2 norm; 0 disables clipping.
+	ClipNorm float64
+	// Sched defaults to a constant schedule.
+	Sched Schedule
+
+	step int
+}
+
+// NewTrainer wraps opt with base learning rate lr and clipping at clip.
+func NewTrainer(opt Optimizer, lr float32, clip float64) *Trainer {
+	return &Trainer{Opt: opt, BaseLR: lr, ClipNorm: clip, Sched: ConstantSchedule()}
+}
+
+// Step runs backward from loss, clips, updates m's parameters, clears the
+// gradients, and returns the loss value.
+func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
+	loss.Backward()
+	params := m.Params()
+	if t.ClipNorm > 0 {
+		clipGlobalNorm(params, t.ClipNorm)
+	}
+	lr := t.BaseLR * float32(t.Sched(t.step))
+	t.Opt.Step(params, lr)
+	nn.ZeroGrads(m)
+	t.step++
+	return float64(loss.Data.Data[0])
+}
+
+// ApplyGrads clips and applies already-accumulated gradients (e.g. from
+// CheckpointedStep, which runs its own backward pass) and clears them.
+func (t *Trainer) ApplyGrads(m nn.Module) {
+	params := m.Params()
+	if t.ClipNorm > 0 {
+		clipGlobalNorm(params, t.ClipNorm)
+	}
+	lr := t.BaseLR * float32(t.Sched(t.step))
+	t.Opt.Step(params, lr)
+	nn.ZeroGrads(m)
+	t.step++
+}
+
+// StepCount returns how many updates have been applied.
+func (t *Trainer) StepCount() int { return t.step }
+
+// clipGlobalNorm rescales all gradients so their joint L2 norm is ≤ maxNorm.
+func clipGlobalNorm(params []nn.NamedParam, maxNorm float64) {
+	var ss float64
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		n := p.Value.Grad.Norm2()
+		ss += n * n
+	}
+	norm := math.Sqrt(ss)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := float32(maxNorm / norm)
+	for _, p := range params {
+		if p.Value.Grad != nil {
+			p.Value.Grad.ScaleInPlace(scale)
+		}
+	}
+}
