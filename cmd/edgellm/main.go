@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"edgellm/internal/core"
 	"edgellm/internal/hwsim"
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 )
 
 func main() {
@@ -69,80 +71,101 @@ subcommands:
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("t", "", "run only the experiment with this id (T1..T3, F1..F5)")
+	id := fs.String("t", "", "run only the experiment with this id (T1..T3, F1..F7, A1..A7)")
 	quick := fs.Bool("quick", false, "shrink trained experiments for a fast smoke run")
 	markdown := fs.Bool("markdown", false, "emit markdown tables")
+	parallel := fs.Int("parallel", 1, "max concurrent tasks in the experiment runner (1 = sequential; results are identical at any value)")
+	metrics := fs.String("metrics", "", "write JSONL observability events (manifest, spans, metrics, summary) to this file")
+	trace := fs.Bool("trace", false, "print one line per completed timing span to stderr")
 	fs.Parse(args)
 
-	run := func(r *core.Report) {
+	cleanup, err := setupObsv(*metrics, *trace, *parallel, *quick)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	sizes := core.DefaultSizes()
+	if *quick {
+		sizes = core.QuickSizes()
+	}
+	var only []string
+	if *id != "" {
+		only = []string{strings.ToUpper(*id)}
+	}
+
+	start := time.Now()
+	reports, err := core.RunAll(context.Background(), core.SuiteOpts{
+		Sizes: sizes, Parallel: *parallel, Only: only,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
 		if *markdown {
 			fmt.Println(r.Markdown())
 		} else {
 			fmt.Println(r.String())
 		}
 	}
-
-	if *id != "" {
-		r, err := oneExperiment(strings.ToUpper(*id), *quick)
-		if err != nil {
-			return err
-		}
-		run(r)
-		return nil
+	if *id == "" {
+		fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Round(time.Millisecond))
 	}
-	start := time.Now()
-	for _, r := range core.AllExperiments(*quick) {
-		run(r)
-	}
-	fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
+// setupObsv installs a global obsv recorder when -metrics or -trace asks for
+// one and returns the teardown (summary emit, file close, uninstall). With
+// neither flag set it returns a no-op cleanup and observability stays off.
+func setupObsv(metricsPath string, trace bool, parallel int, quick bool) (func(), error) {
+	if metricsPath == "" && !trace {
+		return func() {}, nil
+	}
+	rec := obsv.New()
+	var f *os.File
+	if metricsPath != "" {
+		var err error
+		f, err = os.Create(metricsPath)
+		if err != nil {
+			return nil, fmt.Errorf("create metrics file: %w", err)
+		}
+		rec.SetEmitter(obsv.NewEmitter(f))
+	}
+	if trace {
+		rec.SetTrace(os.Stderr)
+	}
+	cfg := core.DefaultConfig()
+	man := obsv.NewManifest("edgellm experiments", cfg.Seed, struct {
+		Config   core.Config
+		Quick    bool
+		Parallel int
+	}{cfg, quick, parallel})
+	man.Parallel = parallel
+	rec.EmitManifest(man)
+	obsv.SetGlobal(rec)
+	return func() {
+		rec.EmitSummary()
+		obsv.SetGlobal(nil)
+		if f != nil {
+			f.Close()
+		}
+	}, nil
+}
+
+// oneExperiment regenerates a single report through the registry-backed
+// runner (sequentially); unknown ids surface as an error.
 func oneExperiment(id string, quick bool) (*core.Report, error) {
-	opts := core.DefaultRunOpts()
-	iters := 300
+	sizes := core.DefaultSizes()
 	if quick {
-		opts = core.RunOpts{Iters: 30, MCQIters: 20, EvalBatches: 3, PretrainIters: 40}
-		iters = 30
+		sizes = core.QuickSizes()
 	}
-	switch id {
-	case "T1":
-		return core.ExperimentT1(opts), nil
-	case "T2":
-		return core.ExperimentT2(iters, opts.EvalBatches), nil
-	case "T3":
-		return core.ExperimentT3(), nil
-	case "F1":
-		return core.ExperimentF1(), nil
-	case "F2":
-		return core.ExperimentF2(iters, opts.EvalBatches), nil
-	case "F3":
-		return core.ExperimentF3(iters), nil
-	case "F4":
-		return core.ExperimentF4(), nil
-	case "F5":
-		return core.ExperimentF5(), nil
-	case "F6":
-		return core.ExperimentF6(), nil
-	case "F7":
-		return core.ExperimentF7(), nil
-	case "A1":
-		return core.AblationProbeMetric(iters, opts.EvalBatches), nil
-	case "A2":
-		return core.AblationPolicySearch(), nil
-	case "A3":
-		return core.AblationWindowStrategy(iters, opts.EvalBatches), nil
-	case "A4":
-		return core.AblationVotingMode(iters, opts.EvalBatches), nil
-	case "A5":
-		return core.AblationScheduleSearch(), nil
-	case "A6":
-		return core.AblationFusion(), nil
-	case "A7":
-		return core.AblationRefine(iters, opts.EvalBatches), nil
-	default:
-		return nil, fmt.Errorf("unknown experiment id %q", id)
+	reports, err := core.RunAll(context.Background(), core.SuiteOpts{
+		Sizes: sizes, Parallel: 1, Only: []string{id},
+	})
+	if err != nil {
+		return nil, err
 	}
+	return reports[0], nil
 }
 
 func cmdDemo(args []string) error {

@@ -6,6 +6,7 @@ import (
 
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 	"edgellm/internal/tensor"
 )
 
@@ -84,6 +85,11 @@ func (v *Voter) Calibrate(m *nn.Model, batches [][][]int, targets [][]int, tempe
 	if temperature <= 0 {
 		panic("adapt: calibration temperature must be positive")
 	}
+	sp := obsv.StartSpan("adapt.calibrate")
+	defer sp.EndWith(map[string]float64{
+		"exits":   float64(len(v.Exits)),
+		"batches": float64(len(batches)),
+	})
 	losses := make([]float64, len(v.Exits))
 	counts := 0
 	for bi, batch := range batches {

@@ -18,6 +18,7 @@ import (
 
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 	"edgellm/internal/train"
 )
 
@@ -244,6 +245,11 @@ func (t *Tuner) Step(tr *train.Trainer, inputs [][]int, targets []int) (loss flo
 		ce = ag.Scale(ag.Add(ce, ceFinal), 0.5)
 	}
 	loss = tr.Step(windowModule{model: m, lo: lo, hi: hi, withFinal: last}, ce)
+	if obs := obsv.Global(); obs != nil {
+		obs.Add("adapt.tune_steps", 1)
+		obs.SetGauge("adapt.window_lo", float64(lo))
+		obs.SetGauge("adapt.window_hi", float64(hi))
+	}
 	return loss, lo, hi
 }
 

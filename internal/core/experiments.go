@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"edgellm/internal/adapt"
@@ -29,14 +30,19 @@ func ExperimentT1(opts RunOpts) *Report {
 	task := NewTask(100, cfg.Model.Vocab)
 	task.EnsureBase(cfg, opts.PretrainIters)
 
-	methods := []MethodResult{
-		RunVanillaFT(cfg, task, opts),
-		RunGradCheckpoint(cfg, task, opts, 3),
-		RunLoRA(cfg, task, opts, 4),
-		RunLST(cfg, task, opts, 4),
-		RunLayerFreeze(cfg, task, opts, cfg.WindowSize),
-		RunEdgeLLM(cfg, task, opts),
+	// The base snapshot is built once above; each method then constructs its
+	// own model, trainer, and RNGs from fixed seeds, so the runs are
+	// independent and can execute on the worker pool in any order.
+	runs := []func() MethodResult{
+		func() MethodResult { return RunVanillaFT(cfg, task, opts) },
+		func() MethodResult { return RunGradCheckpoint(cfg, task, opts, 3) },
+		func() MethodResult { return RunLoRA(cfg, task, opts, 4) },
+		func() MethodResult { return RunLST(cfg, task, opts, 4) },
+		func() MethodResult { return RunLayerFreeze(cfg, task, opts, cfg.WindowSize) },
+		func() MethodResult { return RunEdgeLLM(cfg, task, opts) },
 	}
+	methods := make([]MethodResult, len(runs))
+	parallelFor(len(runs), func(i int) { methods[i] = runs[i]() })
 	vanillaIter := methods[0].IterCost.TotalSec
 	vanillaMem := methods[0].Memory.Total()
 
@@ -117,7 +123,12 @@ func ExperimentT2(tuneIters, evalBatches int) *Report {
 		calibFlat = append(calibFlat, b...)
 	}
 
-	for _, pc := range cases {
+	// Each (policy, budget) grid point compresses and re-tunes its own copy
+	// of the shared base with its own RNG, so points run independently on
+	// the worker pool and rows are assembled in case order.
+	rows := make([][]string, len(cases))
+	parallelFor(len(cases), func(ci int) {
+		pc := cases[ci]
 		m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 		restoreParams(m, snapshot)
 		sens := luc.Probe(m, cands, luc.ProbeOptions{Metric: luc.MetricOutputKL, Calib: calibFlat})
@@ -138,9 +149,12 @@ func ExperimentT2(tuneIters, evalBatches int) *Report {
 		}
 		tuned := evalPPL(m)
 
-		r.AddRow(pc.name, fmt.Sprintf("%.2g bits", pc.budget),
+		rows[ci] = []string{pc.name, fmt.Sprintf("%.2g bits", pc.budget),
 			fmt.Sprintf("%.2f", info.AvgEffectiveBits),
-			fmt.Sprintf("%.3f", post), fmt.Sprintf("%.3f", tuned))
+			fmt.Sprintf("%.3f", post), fmt.Sprintf("%.3f", tuned)}
+	})
+	for _, row := range rows {
+		r.AddRow(row...)
 	}
 	return r
 }
@@ -211,17 +225,20 @@ func ExperimentT3() *Report {
 		}
 	}
 
+	// Each configuration owns its scheduler (the searched one memoises per
+	// instance), so the four cost evaluations are independent grid points.
 	rows := []struct {
-		name  string
-		sched hwsim.Scheduler
-		cost  hwsim.Cost
+		name string
+		cost func() hwsim.Cost
 	}{
-		{"Vanilla, naive sched", hwsim.NaiveScheduler{}, hwsim.IterationCost(dev, hwsim.NaiveScheduler{}, vanilla)},
-		{"Vanilla, searched", hwsim.NewSearchedScheduler(), hwsim.IterationCost(dev, hwsim.NewSearchedScheduler(), vanilla)},
-		{"Edge-LLM, naive sched", hwsim.NaiveScheduler{}, edgeAvg(hwsim.NaiveScheduler{})},
-		{"Edge-LLM, searched", hwsim.NewSearchedScheduler(), edgeAvg(hwsim.NewSearchedScheduler())},
+		{"Vanilla, naive sched", func() hwsim.Cost { return hwsim.IterationCost(dev, hwsim.NaiveScheduler{}, vanilla) }},
+		{"Vanilla, searched", func() hwsim.Cost { return hwsim.IterationCost(dev, hwsim.NewSearchedScheduler(), vanilla) }},
+		{"Edge-LLM, naive sched", func() hwsim.Cost { return edgeAvg(hwsim.NaiveScheduler{}) }},
+		{"Edge-LLM, searched", func() hwsim.Cost { return edgeAvg(hwsim.NewSearchedScheduler()) }},
 	}
-	base := rows[1].cost.TotalSec // vanilla with good (cuBLAS-like) schedules
+	costs := make([]hwsim.Cost, len(rows))
+	parallelFor(len(rows), func(i int) { costs[i] = rows[i].cost() })
+	base := costs[1].TotalSec // vanilla with good (cuBLAS-like) schedules
 
 	r := &Report{
 		ID:     "T3",
@@ -229,13 +246,14 @@ func ExperimentT3() *Report {
 		Header: []string{"Configuration", "Latency", "Compute", "DRAM", "Util", "Speedup vs vanilla"},
 		Notes:  "paper claim: 2.92× per-iteration speedup over vanilla tuning at comparable accuracy",
 	}
-	for _, row := range rows {
+	for i, row := range rows {
+		cost := costs[i]
 		r.AddRow(row.name,
-			fmtMS(row.cost.TotalSec),
-			fmtMS(row.cost.ComputeSec),
-			fmtMS(row.cost.MemorySec),
-			fmt.Sprintf("%.1f%%", row.cost.Utilization(dev)*100),
-			fmt.Sprintf("%.2fx", base/row.cost.TotalSec),
+			fmtMS(cost.TotalSec),
+			fmtMS(cost.ComputeSec),
+			fmtMS(cost.MemorySec),
+			fmt.Sprintf("%.1f%%", cost.Utilization(dev)*100),
+			fmt.Sprintf("%.2fx", base/cost.TotalSec),
 		)
 	}
 	return r
@@ -327,7 +345,12 @@ func ExperimentF2(iters, evalBatches int) *Report {
 		Header: []string{"Window", "PPL final head↓", "PPL voted↓", "Voting gain"},
 		Notes:  "paper claim: voting recovers the quality lost by shallow windows",
 	}
-	for _, w := range []int{1, 2, 3, cfg.Model.Layers} {
+	// Window sizes are independent grid points: each builds its own
+	// pipeline from the shared base snapshot and tunes with its own RNGs.
+	windows := []int{1, 2, 3, cfg.Model.Layers}
+	rows := make([][]string, len(windows))
+	parallelFor(len(windows), func(wi int) {
+		w := windows[wi]
 		c := cfg
 		c.WindowSize = w
 		p, err := New(c)
@@ -352,9 +375,12 @@ func ExperimentF2(iters, evalBatches int) *Report {
 		p.FinishTuning(cb, ct)
 		voted := train.EvalPerplexityWith(p.Forward, batches, targets)
 
-		r.AddRow(fmt.Sprintf("%d/%d", w, c.Model.Layers),
+		rows[wi] = []string{fmt.Sprintf("%d/%d", w, c.Model.Layers),
 			fmt.Sprintf("%.3f", final), fmt.Sprintf("%.3f", voted),
-			fmt.Sprintf("%+.3f", final-voted))
+			fmt.Sprintf("%+.3f", final-voted)}
+	})
+	for _, row := range rows {
+		r.AddRow(row...)
 	}
 	return r
 }
@@ -408,7 +434,13 @@ func ExperimentF4() *Report {
 		Header: []string{"Window", "Latency", "Speedup vs vanilla", "FLOPs vs vanilla"},
 		Notes:  "speedup grows as the window shrinks; the paper's 2.92× sits at small windows",
 	}
-	for _, w := range []int{cfg.Layers, 8, 4, 2, 1} {
+	// Each window depth is an independent grid point with its own memoising
+	// scheduler (identical schedules, so identical numbers to a shared one).
+	windows := []int{cfg.Layers, 8, 4, 2, 1}
+	rows := make([][]string, len(windows))
+	parallelFor(len(windows), func(wi int) {
+		w := windows[wi]
+		wsched := hwsim.NewSearchedScheduler()
 		spec := hwsim.VanillaIteration(cfg, batch, seq)
 		for i := range spec.Compression {
 			spec.Compression[i] = hwsim.LayerCompression{Bits: 4, Sparsity: 0.5}
@@ -422,14 +454,17 @@ func ExperimentF4() *Report {
 			if s.WindowLo < 0 {
 				s.WindowLo = 0
 			}
-			sum = sum.Add(hwsim.IterationCost(dev, sched, s))
+			sum = sum.Add(hwsim.IterationCost(dev, wsched, s))
 		}
 		n := float64(cfg.Layers)
 		avg := hwsim.Cost{TotalSec: sum.TotalSec / n, FLOPs: sum.FLOPs / n}
-		r.AddRow(fmt.Sprintf("%d/%d", w, cfg.Layers),
+		rows[wi] = []string{fmt.Sprintf("%d/%d", w, cfg.Layers),
 			fmtMS(avg.TotalSec),
 			fmt.Sprintf("%.2fx", vanilla.TotalSec/avg.TotalSec),
-			fmt.Sprintf("%.2f", avg.FLOPs/vanilla.FLOPs))
+			fmt.Sprintf("%.2f", avg.FLOPs/vanilla.FLOPs)}
+	})
+	for _, row := range rows {
+		r.AddRow(row...)
 	}
 	return r
 }
@@ -455,16 +490,23 @@ func ExperimentF5() *Report {
 		Header: []string{"Kernel", "Space", "Best", "Median", "Worst", "Best util", "Best schedule", "SA gap"},
 		Notes:  "searching the schedule space is what turns compression into wall-clock speedup; median schedules leave 2-10× on the table",
 	}
-	for _, k := range kernels {
+	// Kernels are independent grid points (AnalyzeSpace and the annealer
+	// keep all state local, and the annealer seeds its own RNG).
+	cells := make([][]string, len(kernels))
+	parallelFor(len(kernels), func(ki int) {
+		k := kernels[ki]
 		st := hwsim.AnalyzeSpace(dev, k.g)
 		_, sa := hwsim.SearchAnnealed(dev, k.g, 1, 1500)
-		r.AddRow(k.name,
+		cells[ki] = []string{k.name,
 			fmt.Sprintf("%d", st.Count),
 			fmtMS(st.BestSec), fmtMS(st.MedianSec), fmtMS(st.WorstSec),
 			fmt.Sprintf("%.1f%%", st.BestUtil*100),
 			st.BestSchedule.String(),
 			fmt.Sprintf("%.2fx", sa.TotalSec/st.BestSec),
-		)
+		}
+	})
+	for _, row := range cells {
+		r.AddRow(row...)
 	}
 	return r
 }
@@ -484,7 +526,12 @@ func ExperimentF6() *Report {
 		Header: []string{"Device", "Vanilla", "Edge-LLM", "Speedup", "Vanilla J", "Edge-LLM J", "Energy saving"},
 		Notes:  "extension experiment (not in the paper): the win persists across device balance points",
 	}
-	for _, dev := range hwsim.DeviceCatalog() {
+	// Device catalog entries are independent grid points; each already owns
+	// its scheduler.
+	devices := hwsim.DeviceCatalog()
+	rows := make([][]string, len(devices))
+	parallelFor(len(devices), func(di int) {
+		dev := devices[di]
 		sched := hwsim.NewSearchedScheduler()
 		vanilla := hwsim.IterationCost(dev, sched, hwsim.VanillaIteration(cfg, batch, seq))
 
@@ -510,11 +557,14 @@ func ExperimentF6() *Report {
 		}
 		vJ := vanilla.EnergyJoules(dev, espec)
 		eJ := edge.EnergyJoules(dev, espec)
-		r.AddRow(dev.Name,
+		rows[di] = []string{dev.Name,
 			fmtMS(vanilla.TotalSec), fmtMS(edge.TotalSec),
 			fmt.Sprintf("%.2fx", vanilla.TotalSec/edge.TotalSec),
 			fmt.Sprintf("%.2f J", vJ), fmt.Sprintf("%.2f J", eJ),
-			fmt.Sprintf("%.2fx", vJ/eJ))
+			fmt.Sprintf("%.2fx", vJ/eJ)}
+	})
+	for _, row := range rows {
+		r.AddRow(row...)
 	}
 	return r
 }
@@ -529,7 +579,6 @@ func ExperimentF7() *Report {
 	dev := hwsim.EdgeGPU()
 	cfg := EdgeModelConfig()
 	const batch = 1
-	sched := hwsim.NewSearchedScheduler()
 
 	r := &Report{
 		ID:     "F7",
@@ -537,7 +586,13 @@ func ExperimentF7() *Report {
 		Header: []string{"Tokens", "Vanilla", "Edge-LLM", "Speedup", "Edge-LLM util"},
 		Notes:  "extension: the compression win grows as tokens shrink (weight traffic dominates), the regime on-device adaptation actually runs in",
 	}
-	for _, seq := range []int{16, 32, 64, 128, 256, 512} {
+	// Sequence lengths are independent grid points; each owns a memoising
+	// scheduler (per-point caches see the same searches a shared one would).
+	seqs := []int{16, 32, 64, 128, 256, 512}
+	rows := make([][]string, len(seqs))
+	parallelFor(len(seqs), func(si int) {
+		seq := seqs[si]
+		sched := hwsim.NewSearchedScheduler()
 		vanilla := hwsim.IterationCost(dev, sched, hwsim.VanillaIteration(cfg, batch, seq))
 		spec := hwsim.VanillaIteration(cfg, batch, seq)
 		for i := range spec.Compression {
@@ -557,40 +612,28 @@ func ExperimentF7() *Report {
 		edge := hwsim.Cost{
 			TotalSec: sum.TotalSec / n, IdealSec: sum.IdealSec / n,
 		}
-		r.AddRow(fmt.Sprintf("%d", batch*seq),
+		rows[si] = []string{fmt.Sprintf("%d", batch*seq),
 			fmtMS(vanilla.TotalSec), fmtMS(edge.TotalSec),
 			fmt.Sprintf("%.2fx", vanilla.TotalSec/edge.TotalSec),
-			fmt.Sprintf("%.1f%%", edge.IdealSec/edge.TotalSec*100))
+			fmt.Sprintf("%.1f%%", edge.IdealSec/edge.TotalSec*100)}
+	})
+	for _, row := range rows {
+		r.AddRow(row...)
 	}
 	return r
 }
 
-// AllExperiments regenerates every table and figure. quick shrinks the
-// trained experiments for smoke testing.
+// AllExperiments regenerates every table and figure sequentially. quick
+// shrinks the trained experiments for smoke testing. It is the
+// single-worker special case of RunAll.
 func AllExperiments(quick bool) []*Report {
-	opts := DefaultRunOpts()
-	t2Iters, f2Iters, f3Iters := 300, 250, 300
+	sizes := DefaultSizes()
 	if quick {
-		opts = RunOpts{Iters: 30, MCQIters: 20, EvalBatches: 3, PretrainIters: 40}
-		t2Iters, f2Iters, f3Iters = 30, 30, 30
+		sizes = QuickSizes()
 	}
-	return []*Report{
-		ExperimentT1(opts),
-		ExperimentT2(t2Iters, opts.EvalBatches),
-		ExperimentT3(),
-		ExperimentF1(),
-		ExperimentF2(f2Iters, opts.EvalBatches),
-		ExperimentF3(f3Iters),
-		ExperimentF4(),
-		ExperimentF5(),
-		ExperimentF6(),
-		ExperimentF7(),
-		AblationProbeMetric(f3Iters, opts.EvalBatches),
-		AblationPolicySearch(),
-		AblationWindowStrategy(f2Iters, opts.EvalBatches),
-		AblationVotingMode(f2Iters, opts.EvalBatches),
-		AblationScheduleSearch(),
-		AblationFusion(),
-		AblationRefine(f3Iters, opts.EvalBatches),
+	reports, err := RunAll(context.Background(), SuiteOpts{Sizes: sizes, Parallel: 1})
+	if err != nil {
+		panic(err) // unreachable: background context, no id filter
 	}
+	return reports
 }

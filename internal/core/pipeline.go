@@ -7,12 +7,14 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"edgellm/internal/adapt"
 	"edgellm/internal/data"
 	"edgellm/internal/hwsim"
 	"edgellm/internal/luc"
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 	"edgellm/internal/tensor"
 	"edgellm/internal/train"
 
@@ -138,6 +140,8 @@ func (p *Pipeline) Compress(calib [][]int) error {
 	if p.compressed {
 		return fmt.Errorf("core: model already compressed")
 	}
+	sp := obsv.StartSpan("pipeline.compress")
+	defer func() { sp.EndWith(map[string]float64{"avg_bits": p.Info.AvgEffectiveBits}) }()
 	opts := luc.ProbeOptions{Metric: p.Cfg.ProbeMetric, Calib: calib}
 	p.Sens = luc.Probe(p.Model, p.candidates, opts)
 	if p.Cfg.UseDP {
@@ -199,10 +203,12 @@ func (p *Pipeline) Tune(c *data.Corpus, iters int) []float64 {
 			panic(err)
 		}
 	}
+	sp := p.tuneSpan("pipeline.tune", iters)
 	losses := make([]float64, iters)
 	for i := range losses {
 		losses[i] = p.TuneStep(c)
 	}
+	sp.end()
 	return losses
 }
 
@@ -213,18 +219,60 @@ func (p *Pipeline) TuneMCQ(d *data.MCQDataset, iters int) []float64 {
 			panic(err)
 		}
 	}
+	sp := p.tuneSpan("pipeline.tune_mcq", iters)
 	losses := make([]float64, iters)
 	for i := range losses {
 		inputs, targets := d.MCQBatch(p.rng, p.Cfg.Batch, -1)
 		loss, _, _ := p.Tuner.Step(p.Trainer, inputs, targets)
 		losses[i] = loss
 	}
+	sp.end()
 	return losses
+}
+
+// tuneSpan wraps a tuning loop in an obsv span whose closing fields report
+// iterations, tokens consumed, and throughput in tokens per second.
+type tuneSpan struct {
+	sp     obsv.Span
+	iters  int
+	tokens float64
+	start  time.Time
+	live   bool
+}
+
+func (p *Pipeline) tuneSpan(name string, iters int) tuneSpan {
+	if !obsv.Enabled() {
+		return tuneSpan{}
+	}
+	return tuneSpan{
+		sp:     obsv.StartSpan(name),
+		iters:  iters,
+		tokens: float64(iters) * float64(p.Cfg.Batch) * float64(p.Cfg.Seq),
+		start:  time.Now(),
+		live:   true,
+	}
+}
+
+func (t tuneSpan) end() {
+	if !t.live {
+		return
+	}
+	tps := 0.0
+	if dur := time.Since(t.start); dur > 0 {
+		tps = t.tokens / dur.Seconds()
+	}
+	t.sp.EndWith(map[string]float64{
+		"iters":       float64(t.iters),
+		"tokens":      t.tokens,
+		"tok_per_sec": tps,
+	})
 }
 
 // FinishTuning builds and calibrates the voter over the exits the tuner
 // visited (plus the final head) using held-out calibration batches.
 func (p *Pipeline) FinishTuning(calibBatches [][][]int, calibTargets [][]int) {
+	sp := obsv.StartSpan("pipeline.vote")
+	defer sp.EndWith(map[string]float64{"exits": float64(len(p.Tuner.TunedExits()) + 1)})
 	exits := append(p.Tuner.TunedExits(), adapt.FinalHead(p.Model))
 	p.Voter = adapt.NewVoter(exits, p.Cfg.VoteMode)
 	if p.Cfg.VoteMode == adapt.VoteCalibrated && len(calibBatches) > 0 {

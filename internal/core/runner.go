@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"edgellm/internal/obsv"
+)
+
+// Sizes collects every iteration-count knob of the experiment suite in one
+// place, so the runner, the CLI, and the tests size runs consistently.
+type Sizes struct {
+	// Run sizes the method-comparison experiments (T1 and the ablations
+	// that train).
+	Run RunOpts
+	// T2Iters, F2Iters, F3Iters size the remaining trained experiments.
+	T2Iters, F2Iters, F3Iters int
+}
+
+// DefaultSizes returns the full-size configuration behind the recorded
+// EXPERIMENTS.md numbers.
+func DefaultSizes() Sizes {
+	return Sizes{Run: DefaultRunOpts(), T2Iters: 300, F2Iters: 250, F3Iters: 300}
+}
+
+// QuickSizes shrinks every trained experiment for smoke runs.
+func QuickSizes() Sizes {
+	return Sizes{
+		Run:     RunOpts{Iters: 30, MCQIters: 20, EvalBatches: 3, PretrainIters: 40},
+		T2Iters: 30, F2Iters: 30, F3Iters: 30,
+	}
+}
+
+// Experiment is one registered table/figure generator.
+type Experiment struct {
+	// ID matches the experiment index in DESIGN.md (T1..T3, F1..F7, A1..A7).
+	ID string
+	// Analytic marks experiments that train nothing (pure cost modeling).
+	Analytic bool
+	// Run regenerates the report at the given sizes.
+	Run func(Sizes) *Report
+}
+
+// Experiments returns the ordered registry of every table, figure, and
+// ablation. The order is the presentation order of EXPERIMENTS.md and the
+// order RunAll reports results in, regardless of parallelism.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "T1", Run: func(s Sizes) *Report { return ExperimentT1(s.Run) }},
+		{ID: "T2", Run: func(s Sizes) *Report { return ExperimentT2(s.T2Iters, s.Run.EvalBatches) }},
+		{ID: "T3", Analytic: true, Run: func(Sizes) *Report { return ExperimentT3() }},
+		{ID: "F1", Analytic: true, Run: func(Sizes) *Report { return ExperimentF1() }},
+		{ID: "F2", Run: func(s Sizes) *Report { return ExperimentF2(s.F2Iters, s.Run.EvalBatches) }},
+		{ID: "F3", Run: func(s Sizes) *Report { return ExperimentF3(s.F3Iters) }},
+		{ID: "F4", Analytic: true, Run: func(Sizes) *Report { return ExperimentF4() }},
+		{ID: "F5", Analytic: true, Run: func(Sizes) *Report { return ExperimentF5() }},
+		{ID: "F6", Analytic: true, Run: func(Sizes) *Report { return ExperimentF6() }},
+		{ID: "F7", Analytic: true, Run: func(Sizes) *Report { return ExperimentF7() }},
+		{ID: "A1", Run: func(s Sizes) *Report { return AblationProbeMetric(s.F3Iters, s.Run.EvalBatches) }},
+		{ID: "A2", Analytic: true, Run: func(Sizes) *Report { return AblationPolicySearch() }},
+		{ID: "A3", Run: func(s Sizes) *Report { return AblationWindowStrategy(s.F2Iters, s.Run.EvalBatches) }},
+		{ID: "A4", Run: func(s Sizes) *Report { return AblationVotingMode(s.F2Iters, s.Run.EvalBatches) }},
+		{ID: "A5", Analytic: true, Run: func(Sizes) *Report { return AblationScheduleSearch() }},
+		{ID: "A6", Analytic: true, Run: func(Sizes) *Report { return AblationFusion() }},
+		{ID: "A7", Run: func(s Sizes) *Report { return AblationRefine(s.F3Iters, s.Run.EvalBatches) }},
+	}
+}
+
+// SuiteOpts configures one RunAll invocation.
+type SuiteOpts struct {
+	// Sizes sizes the trained experiments; the zero value means
+	// DefaultSizes.
+	Sizes Sizes
+	// Parallel bounds the worker pool shared by experiment-level and
+	// grid-level fan-out; values ≤ 1 run strictly sequentially on the
+	// calling goroutine.
+	Parallel int
+	// Only optionally restricts the run to these experiment IDs (in
+	// registry order); nil runs everything.
+	Only []string
+}
+
+// RunAll regenerates the selected experiments, fanning independent
+// experiments — and, inside them, independent grid points (LUC budgets,
+// window sizes, device catalog entries) — across a bounded worker pool.
+//
+// Results are bit-identical to a sequential run at any parallelism: every
+// task owns its models, schedulers, and RNGs (each deterministically
+// derived from that task's seed, never shared across goroutines), and
+// reports are assembled in registry order, so scheduling cannot influence
+// either the numbers or their order.
+func RunAll(ctx context.Context, opts SuiteOpts) ([]*Report, error) {
+	sizes := opts.Sizes
+	if sizes == (Sizes{}) {
+		sizes = DefaultSizes()
+	}
+
+	selected := Experiments()
+	if opts.Only != nil {
+		want := make(map[string]bool, len(opts.Only))
+		for _, id := range opts.Only {
+			want[id] = true
+		}
+		var filtered []Experiment
+		for _, e := range selected {
+			if want[e.ID] {
+				filtered = append(filtered, e)
+				delete(want, e.ID)
+			}
+		}
+		for id := range want {
+			return nil, fmt.Errorf("core: unknown experiment id %q", id)
+		}
+		selected = filtered
+	}
+
+	pool := newWorkPool(opts.Parallel)
+	prev := activePool.Swap(pool)
+	defer activePool.Store(prev)
+
+	suite := obsv.StartSpan("suite.run", obsv.L("parallel", fmt.Sprint(opts.Parallel)))
+	defer suite.EndWith(map[string]float64{"experiments": float64(len(selected))})
+
+	reports := make([]*Report, len(selected))
+	parallelFor(len(selected), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		e := selected[i]
+		sp := obsv.StartSpan("experiment", obsv.L("id", e.ID))
+		reports[i] = e.Run(sizes)
+		sp.End()
+		obsv.Add("suite.experiments_done", 1)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// --- bounded worker pool -----------------------------------------------------
+
+// workPool is a weighted semaphore over worker slots. It is shared between
+// the experiment-level fan-out and every grid-level fan-out inside the
+// experiments, so total concurrency stays bounded no matter how the two
+// levels nest.
+type workPool struct{ slots chan struct{} }
+
+// newWorkPool sizes the pool so that at most `parallel` tasks run at once:
+// parallel−1 pool goroutines plus the caller running tasks inline. A pool
+// of ≤ 1 has no slots, which makes parallelFor purely sequential.
+func newWorkPool(parallel int) *workPool {
+	if parallel <= 1 {
+		return nil
+	}
+	return &workPool{slots: make(chan struct{}, parallel-1)}
+}
+
+// activePool is the pool installed by the currently running RunAll; nil
+// means all parallelFor calls execute inline. Experiments call parallelFor
+// unconditionally and inherit whatever budget the runner installed.
+var activePool atomic.Pointer[workPool]
+
+// parallelFor runs fn(0..n-1), each call exactly once. When a pool is
+// installed, tasks are offloaded to worker goroutines while slots are
+// available and run inline on the caller otherwise — the inline fallback
+// is what makes nesting deadlock-free: a parent waiting on its grid always
+// makes progress by running grid points itself. Callers must make fn(i)
+// touch only per-i state (or read-only shared state); results land in
+// slot i of a pre-sized slice, so output order never depends on timing.
+func parallelFor(n int, fn func(i int)) {
+	p := activePool.Load()
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.slots <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.slots }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// tinySizes keeps the determinism test fast: a handful of iterations is
+// enough to exercise every parallel grid path (T2 LUC budgets, F2 window
+// sizes, F4 window depths, F6 device catalog).
+func tinySizes() Sizes {
+	return Sizes{
+		Run:     RunOpts{Iters: 6, MCQIters: 4, EvalBatches: 2, PretrainIters: 8},
+		T2Iters: 6, F2Iters: 6, F3Iters: 6,
+	}
+}
+
+// renderAll concatenates the reports in runner order so any difference in
+// values or ordering shows up as a byte difference.
+func renderAll(reports []*Report) string {
+	var b strings.Builder
+	for _, r := range reports {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestRunAllParallelDeterministic is the runner's core guarantee: a
+// parallel run must be byte-identical to a sequential run. The selected
+// experiments are exactly the ones with internal grid-level fan-out, so
+// both nesting levels of the shared pool are exercised.
+func TestRunAllParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several pipelines")
+	}
+	only := []string{"T2", "F2", "F4", "F6"}
+
+	seq, err := RunAll(context.Background(), SuiteOpts{Sizes: tinySizes(), Parallel: 1, Only: only})
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	par, err := RunAll(context.Background(), SuiteOpts{Sizes: tinySizes(), Parallel: 4, Only: only})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+
+	if len(seq) != len(only) || len(par) != len(only) {
+		t.Fatalf("report counts = %d/%d, want %d", len(seq), len(par), len(only))
+	}
+	for i := range seq {
+		if seq[i].ID != only[i] || par[i].ID != only[i] {
+			t.Fatalf("report order: seq[%d]=%s par[%d]=%s want %s", i, seq[i].ID, i, par[i].ID, only[i])
+		}
+	}
+	a, b := renderAll(seq), renderAll(par)
+	if a != b {
+		t.Fatalf("parallel output diverges from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	if _, err := RunAll(context.Background(), SuiteOpts{Only: []string{"T9"}}); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestRunAllCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, SuiteOpts{Sizes: tinySizes(), Only: []string{"T3"}}); err == nil {
+		t.Fatal("cancelled context must surface as an error")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 17 {
+		t.Fatalf("registry size = %d, want 17", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"T1", "T2", "T3", "F1", "F7", "A1", "A7"} {
+		if !seen[id] {
+			t.Fatalf("registry missing %s", id)
+		}
+	}
+}
+
+// TestParallelForBounded checks the pool's concurrency invariant: at most
+// `parallel` tasks in flight, counting the caller's inline execution.
+func TestParallelForBounded(t *testing.T) {
+	const parallel = 3
+	pool := newWorkPool(parallel)
+	prev := activePool.Swap(pool)
+	defer activePool.Store(prev)
+
+	var inFlight, peak atomic.Int64
+	parallelFor(64, func(int) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+		inFlight.Add(-1)
+	})
+	if got := peak.Load(); got > parallel {
+		t.Fatalf("peak concurrency = %d, want ≤ %d", got, parallel)
+	}
+}
+
+// TestParallelForNested makes sure nested fan-out over one shared pool
+// neither deadlocks nor drops tasks.
+func TestParallelForNested(t *testing.T) {
+	pool := newWorkPool(4)
+	prev := activePool.Swap(pool)
+	defer activePool.Store(prev)
+
+	var total atomic.Int64
+	parallelFor(8, func(int) {
+		parallelFor(8, func(int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested tasks run = %d, want 64", total.Load())
+	}
+}
+
+func TestNewWorkPoolSequential(t *testing.T) {
+	if newWorkPool(0) != nil || newWorkPool(1) != nil {
+		t.Fatal("parallel ≤ 1 must disable the pool")
+	}
+}

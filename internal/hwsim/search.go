@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"edgellm/internal/obsv"
 )
 
 // TileSizes is the tile-extent grid of the schedule search space.
@@ -41,6 +43,7 @@ func SearchExhaustive(d Device, g GEMM) (Schedule, Cost) {
 		s := NaiveSchedule()
 		return s, s.Cost(d, g)
 	}
+	obsv.Add("hwsim.schedule_evals", int64(len(space)))
 	best := space[0]
 	bestCost := best.Cost(d, g)
 	for _, s := range space[1:] {
@@ -64,11 +67,13 @@ func SearchAnnealed(d Device, g GEMM, seed int64, steps int) (Schedule, Cost) {
 	curCost := cur.Cost(d, g)
 	best, bestCost := cur, curCost
 	temp := curCost.TotalSec / 2
+	evals := int64(1)
 	for i := 0; i < steps; i++ {
 		next := mutate(cur, rng)
 		if !next.Fits(d, g) {
 			continue
 		}
+		evals++
 		nextCost := next.Cost(d, g)
 		delta := nextCost.TotalSec - curCost.TotalSec
 		if delta < 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
@@ -79,6 +84,7 @@ func SearchAnnealed(d Device, g GEMM, seed int64, steps int) (Schedule, Cost) {
 		}
 		temp *= 0.98
 	}
+	obsv.Add("hwsim.schedule_evals", evals)
 	return best, bestCost
 }
 
@@ -128,6 +134,7 @@ func AnalyzeSpace(d Device, g GEMM) SpaceStats {
 	if len(space) == 0 {
 		return stats
 	}
+	obsv.Add("hwsim.schedule_evals", int64(len(space)))
 	type entry struct {
 		sec, util float64
 		s         Schedule

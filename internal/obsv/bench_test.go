@@ -1,0 +1,56 @@
+package obsv
+
+import (
+	"io"
+	"testing"
+)
+
+// The disabled path is the one every hot loop pays; it must stay at the
+// cost of an atomic load plus a branch.
+
+func BenchmarkDisabledStartSpan(b *testing.B) {
+	SetGlobal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan("hot").End()
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	SetGlobal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Add("hot", 1)
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	r := New()
+	SetGlobal(r)
+	defer SetGlobal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan("hot").End()
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := New()
+	SetGlobal(r)
+	defer SetGlobal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Add("hot", 1)
+	}
+}
+
+func BenchmarkEnabledEmitSpan(b *testing.B) {
+	r := New()
+	r.SetEmitter(NewEmitter(io.Discard))
+	SetGlobal(r)
+	defer SetGlobal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan("hot").End()
+	}
+}

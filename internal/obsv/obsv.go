@@ -1,0 +1,420 @@
+// Package obsv is the repository's observability substrate: monotonic
+// timer spans, counter/gauge/distribution registries, a per-run manifest
+// (config hash, seed, git revision, Go version), and a JSONL event
+// emitter.
+//
+// The package is built around one invariant: when observability is
+// disabled (the default), the hot-path cost is a single atomic pointer
+// load and a nil check — no clock reads, no allocation, no locking. All
+// instrumented code paths (train.Trainer.Step, core.Pipeline stages, the
+// hwsim schedule search) call the nil-safe package-level helpers below and
+// therefore pay effectively nothing until a Recorder is installed with
+// SetGlobal.
+//
+// Concurrency: every Recorder method is safe for concurrent use, which the
+// parallel experiment runner (core.RunAll) relies on. Counters commute, so
+// aggregate values are deterministic even though JSONL event interleaving
+// is not.
+package obsv
+
+import (
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value annotation attached to spans and events.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DistStat summarises an observed value stream.
+type DistStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Mean returns the stream mean (0 for an empty stream).
+func (d DistStat) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// dist accumulates a DistStat under a mutex (observations are rare enough
+// on instrumented paths that a lock beats the complexity of sharding).
+type dist struct {
+	mu sync.Mutex
+	s  DistStat
+}
+
+func (d *dist) observe(v float64) {
+	d.mu.Lock()
+	if d.s.Count == 0 || v < d.s.Min {
+		d.s.Min = v
+	}
+	if d.s.Count == 0 || v > d.s.Max {
+		d.s.Max = v
+	}
+	d.s.Count++
+	d.s.Sum += v
+	d.mu.Unlock()
+}
+
+func (d *dist) stat() DistStat {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.s
+}
+
+// SpanStat aggregates all completed spans of one name.
+type SpanStat struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Recorder is the central registry: it owns the metric maps and the
+// optional JSONL emitter and trace writer. The zero value is not usable;
+// construct with New. A nil *Recorder is a valid no-op receiver for every
+// method, which is what makes the disabled path free.
+type Recorder struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	dists    map[string]*dist
+	spans    map[string]*dist // span durations in ms
+
+	emitter atomic.Pointer[Emitter]
+	trace   atomic.Pointer[traceWriter]
+}
+
+type traceWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// New returns an empty Recorder.
+func New() *Recorder {
+	return &Recorder{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		dists:    map[string]*dist{},
+		spans:    map[string]*dist{},
+	}
+}
+
+// SetEmitter attaches a JSONL emitter; nil detaches. Safe to call
+// concurrently with recording.
+func (r *Recorder) SetEmitter(e *Emitter) {
+	if r == nil {
+		return
+	}
+	r.emitter.Store(e)
+}
+
+// SetTrace attaches a writer that receives one human-readable line per
+// completed span (the -trace flag); nil detaches.
+func (r *Recorder) SetTrace(w io.Writer) {
+	if r == nil {
+		return
+	}
+	if w == nil {
+		r.trace.Store(nil)
+		return
+	}
+	r.trace.Store(&traceWriter{w: w})
+}
+
+// counter returns the named counter, creating it on first use.
+func (r *Recorder) counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// gauge returns the named gauge, creating it on first use.
+func (r *Recorder) gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+func (r *Recorder) dist(m map[string]*dist, name string) *dist {
+	r.mu.RLock()
+	d := m[name]
+	r.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d = m[name]; d == nil {
+		d = &dist{}
+		m[name] = d
+	}
+	return d
+}
+
+// Add increments the named counter. No-op on a nil Recorder.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.counter(name).Add(delta)
+}
+
+// SetGauge stores the named gauge's value. No-op on a nil Recorder.
+func (r *Recorder) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.gauge(name).Set(v)
+}
+
+// Observe records one sample of the named distribution and, when an
+// emitter is attached, writes a metric event. No-op on a nil Recorder.
+func (r *Recorder) Observe(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.dist(r.dists, name).observe(v)
+	if e := r.emitter.Load(); e != nil {
+		e.Emit(Event{
+			TimeUnixNano: time.Now().UnixNano(),
+			Kind:         KindMetric,
+			Name:         name,
+			Value:        v,
+			Labels:       labelMap(labels),
+		})
+	}
+}
+
+// Span is a live timing region returned by StartSpan. The zero Span (from
+// a nil Recorder) is valid and its End/EndWith are no-ops.
+type Span struct {
+	r      *Recorder
+	name   string
+	start  time.Time
+	labels []Label
+}
+
+// StartSpan begins a monotonic timing region. On a nil Recorder it returns
+// an inert zero Span without reading the clock.
+func (r *Recorder) StartSpan(name string, labels ...Label) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now(), labels: labels}
+}
+
+// End completes the span with no extra fields.
+func (s Span) End() { s.EndWith(nil) }
+
+// EndWith completes the span, attaching numeric fields (e.g. tokens/sec)
+// to the emitted event.
+func (s Span) EndWith(fields map[string]float64) {
+	if s.r == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	ms := float64(dur) / float64(time.Millisecond)
+	s.r.dist(s.r.spans, s.name).observe(ms)
+	if e := s.r.emitter.Load(); e != nil {
+		e.Emit(Event{
+			TimeUnixNano: s.start.UnixNano(),
+			Kind:         KindSpan,
+			Name:         s.name,
+			DurMS:        ms,
+			Labels:       labelMap(s.labels),
+			Fields:       fields,
+		})
+	}
+	if tw := s.r.trace.Load(); tw != nil {
+		tw.mu.Lock()
+		io.WriteString(tw.w, "[trace] "+s.name+labelSuffix(s.labels)+" "+formatMS(ms)+"\n")
+		tw.mu.Unlock()
+	}
+}
+
+// Summary is a point-in-time snapshot of every registered metric.
+type Summary struct {
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Gauges   map[string]float64  `json:"gauges,omitempty"`
+	Dists    map[string]DistStat `json:"dists,omitempty"`
+	Spans    map[string]SpanStat `json:"spans,omitempty"`
+}
+
+// Snapshot captures all counters, gauges, distributions, and span
+// aggregates. Safe during concurrent recording; nil Recorder yields an
+// empty Summary.
+func (r *Recorder) Snapshot() Summary {
+	s := Summary{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Dists:    map[string]DistStat{},
+		Spans:    map[string]SpanStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, d := range r.dists {
+		s.Dists[name] = d.stat()
+	}
+	for name, d := range r.spans {
+		st := d.stat()
+		s.Spans[name] = SpanStat{Count: st.Count, TotalMS: st.Sum}
+	}
+	return s
+}
+
+// EmitSummary writes the current Snapshot as a single summary event (one
+// JSONL line) if an emitter is attached.
+func (r *Recorder) EmitSummary() {
+	if r == nil {
+		return
+	}
+	e := r.emitter.Load()
+	if e == nil {
+		return
+	}
+	snap := r.Snapshot()
+	e.Emit(Event{
+		TimeUnixNano: time.Now().UnixNano(),
+		Kind:         KindSummary,
+		Summary:      &snap,
+	})
+}
+
+// EmitManifest writes the run manifest as one JSONL line if an emitter is
+// attached.
+func (r *Recorder) EmitManifest(m Manifest) {
+	if r == nil {
+		return
+	}
+	if e := r.emitter.Load(); e != nil {
+		e.Emit(Event{
+			TimeUnixNano: time.Now().UnixNano(),
+			Kind:         KindManifest,
+			Manifest:     &m,
+		})
+	}
+}
+
+// --- global recorder ---------------------------------------------------------
+
+// global holds the process-wide Recorder; nil means disabled.
+var global atomic.Pointer[Recorder]
+
+// SetGlobal installs r as the process-wide recorder; nil disables
+// observability.
+func SetGlobal(r *Recorder) {
+	global.Store(r)
+}
+
+// Global returns the installed recorder, or nil when disabled. All
+// Recorder methods accept a nil receiver, so call sites never need a nil
+// check of their own.
+func Global() *Recorder { return global.Load() }
+
+// Enabled reports whether a global recorder is installed. Instrumented
+// code may use it to skip metric computation that has a cost of its own
+// (e.g. an extra gradient-norm pass).
+func Enabled() bool { return global.Load() != nil }
+
+// StartSpan opens a span on the global recorder (inert when disabled).
+func StartSpan(name string, labels ...Label) Span { return global.Load().StartSpan(name, labels...) }
+
+// Add increments a counter on the global recorder (no-op when disabled).
+func Add(name string, delta int64) { global.Load().Add(name, delta) }
+
+// SetGauge sets a gauge on the global recorder (no-op when disabled).
+func SetGauge(name string, v float64) { global.Load().SetGauge(name, v) }
+
+// Observe records a distribution sample on the global recorder (no-op
+// when disabled).
+func Observe(name string, v float64, labels ...Label) { global.Load().Observe(name, v, labels...) }
+
+// --- small helpers -----------------------------------------------------------
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+func labelSuffix(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for _, l := range labels {
+		keys = append(keys, l.Key+"="+l.Value)
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += k
+	}
+	return out + "}"
+}

@@ -188,10 +188,3 @@ func (t *Tensor) AddRowBroadcast(bias *Tensor) {
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

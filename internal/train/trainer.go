@@ -2,9 +2,11 @@ package train
 
 import (
 	"math"
+	"time"
 
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 )
 
 // Schedule maps a 0-based step index to a learning-rate multiplier.
@@ -49,37 +51,93 @@ func NewTrainer(opt Optimizer, lr float32, clip float64) *Trainer {
 
 // Step runs backward from loss, clips, updates m's parameters, clears the
 // gradients, and returns the loss value.
+//
+// When the global obsv recorder is enabled, Step records its wall-clock
+// latency, the pre-clip global gradient norm, clip events, and the
+// effective learning rate. Disabled, the instrumentation costs a single
+// nil check.
 func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
+	obs := obsv.Global()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	loss.Backward()
 	params := m.Params()
+	var gradNorm float64
+	clipped := false
 	if t.ClipNorm > 0 {
-		clipGlobalNorm(params, t.ClipNorm)
+		gradNorm, clipped = clipGlobalNorm(params, t.ClipNorm)
+	} else if obs != nil {
+		gradNorm = globalNorm(params)
 	}
 	lr := t.BaseLR * float32(t.Sched(t.step))
 	t.Opt.Step(params, lr)
 	nn.ZeroGrads(m)
 	t.step++
+	if obs != nil {
+		t.record(obs, start, gradNorm, clipped, lr)
+	}
 	return float64(loss.Data.Data[0])
 }
 
 // ApplyGrads clips and applies already-accumulated gradients (e.g. from
 // CheckpointedStep, which runs its own backward pass) and clears them.
 func (t *Trainer) ApplyGrads(m nn.Module) {
+	obs := obsv.Global()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	params := m.Params()
+	var gradNorm float64
+	clipped := false
 	if t.ClipNorm > 0 {
-		clipGlobalNorm(params, t.ClipNorm)
+		gradNorm, clipped = clipGlobalNorm(params, t.ClipNorm)
+	} else if obs != nil {
+		gradNorm = globalNorm(params)
 	}
 	lr := t.BaseLR * float32(t.Sched(t.step))
 	t.Opt.Step(params, lr)
 	nn.ZeroGrads(m)
 	t.step++
+	if obs != nil {
+		t.record(obs, start, gradNorm, clipped, lr)
+	}
+}
+
+// record emits one step's metrics to the recorder.
+func (t *Trainer) record(obs *obsv.Recorder, start time.Time, gradNorm float64, clipped bool, lr float32) {
+	obs.Observe("train.step_ms", float64(time.Since(start))/float64(time.Millisecond))
+	obs.Observe("train.grad_norm", gradNorm)
+	obs.SetGauge("train.lr", float64(lr))
+	obs.Add("train.steps", 1)
+	if clipped {
+		obs.Add("train.clip_events", 1)
+	}
 }
 
 // StepCount returns how many updates have been applied.
 func (t *Trainer) StepCount() int { return t.step }
 
-// clipGlobalNorm rescales all gradients so their joint L2 norm is ≤ maxNorm.
-func clipGlobalNorm(params []nn.NamedParam, maxNorm float64) {
+// clipGlobalNorm rescales all gradients so their joint L2 norm is ≤
+// maxNorm; it returns the pre-clip norm and whether clipping fired.
+func clipGlobalNorm(params []nn.NamedParam, maxNorm float64) (norm float64, clipped bool) {
+	norm = globalNorm(params)
+	if norm <= maxNorm || norm == 0 {
+		return norm, false
+	}
+	scale := float32(maxNorm / norm)
+	for _, p := range params {
+		if p.Value.Grad != nil {
+			p.Value.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm, true
+}
+
+// globalNorm returns the joint L2 norm of all parameter gradients.
+func globalNorm(params []nn.NamedParam) float64 {
 	var ss float64
 	for _, p := range params {
 		if p.Value.Grad == nil {
@@ -88,14 +146,5 @@ func clipGlobalNorm(params []nn.NamedParam, maxNorm float64) {
 		n := p.Value.Grad.Norm2()
 		ss += n * n
 	}
-	norm := math.Sqrt(ss)
-	if norm <= maxNorm || norm == 0 {
-		return
-	}
-	scale := float32(maxNorm / norm)
-	for _, p := range params {
-		if p.Value.Grad != nil {
-			p.Value.Grad.ScaleInPlace(scale)
-		}
-	}
+	return math.Sqrt(ss)
 }
