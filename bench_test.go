@@ -11,6 +11,7 @@
 package edgellm_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -36,70 +37,70 @@ func report(b *testing.B, r *core.Report) {
 
 func BenchmarkTable1MainComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentT1(benchOpts)
+		r := core.ExperimentT1(context.Background(), benchOpts)
 		report(b, r)
 	}
 }
 
 func BenchmarkTable2LUCAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentT2(benchOpts.Iters, benchOpts.EvalBatches)
+		r := core.ExperimentT2(context.Background(), benchOpts.Iters, benchOpts.EvalBatches)
 		report(b, r)
 	}
 }
 
 func BenchmarkTable3Scheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentT3()
+		r := core.ExperimentT3(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkFigure1MemoryBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentF1()
+		r := core.ExperimentF1(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkFigure2LayerVoting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentF2(benchOpts.Iters, benchOpts.EvalBatches)
+		r := core.ExperimentF2(context.Background(), benchOpts.Iters, benchOpts.EvalBatches)
 		report(b, r)
 	}
 }
 
 func BenchmarkFigure3Sensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentF3(benchOpts.Iters)
+		r := core.ExperimentF3(context.Background(), benchOpts.Iters)
 		report(b, r)
 	}
 }
 
 func BenchmarkFigure4SpeedupVsDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentF4()
+		r := core.ExperimentF4(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkFigure5ScheduleSpace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentF5()
+		r := core.ExperimentF5(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkFigure6DeviceSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentF6()
+		r := core.ExperimentF6(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkFigure7BatchSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.ExperimentF7()
+		r := core.ExperimentF7(context.Background())
 		report(b, r)
 	}
 }
@@ -108,49 +109,49 @@ func BenchmarkFigure7BatchSweep(b *testing.B) {
 
 func BenchmarkAblationProbeMetric(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.AblationProbeMetric(benchOpts.Iters, benchOpts.EvalBatches)
+		r := core.AblationProbeMetric(context.Background(), benchOpts.Iters, benchOpts.EvalBatches)
 		report(b, r)
 	}
 }
 
 func BenchmarkAblationPolicySearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.AblationPolicySearch()
+		r := core.AblationPolicySearch(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkAblationWindowStrategy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.AblationWindowStrategy(benchOpts.Iters, benchOpts.EvalBatches)
+		r := core.AblationWindowStrategy(context.Background(), benchOpts.Iters, benchOpts.EvalBatches)
 		report(b, r)
 	}
 }
 
 func BenchmarkAblationVotingMode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.AblationVotingMode(benchOpts.Iters, benchOpts.EvalBatches)
+		r := core.AblationVotingMode(context.Background(), benchOpts.Iters, benchOpts.EvalBatches)
 		report(b, r)
 	}
 }
 
 func BenchmarkAblationScheduleSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.AblationScheduleSearch()
+		r := core.AblationScheduleSearch(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkAblationFusion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.AblationFusion()
+		r := core.AblationFusion(context.Background())
 		report(b, r)
 	}
 }
 
 func BenchmarkAblationRefine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.AblationRefine(benchOpts.Iters, benchOpts.EvalBatches)
+		r := core.AblationRefine(context.Background(), benchOpts.Iters, benchOpts.EvalBatches)
 		report(b, r)
 	}
 }

@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"edgellm/internal/core"
+	"edgellm/internal/fault"
 	"edgellm/internal/hwsim"
 	"edgellm/internal/nn"
 	"edgellm/internal/obsv"
@@ -77,6 +80,8 @@ func cmdExperiments(args []string) error {
 	parallel := fs.Int("parallel", 1, "max concurrent tasks in the experiment runner (1 = sequential; results are identical at any value)")
 	metrics := fs.String("metrics", "", "write JSONL observability events (manifest, spans, metrics, summary) to this file")
 	trace := fs.Bool("trace", false, "print one line per completed timing span to stderr")
+	faultSpec := fs.String("fault", "", `inject deterministic faults: comma-separated mode=ID pairs (panic=F5,flaky=T3,fail=A2) or "smoke"`)
+	retries := fs.Int("retries", 0, "retry budget per experiment for retryable failures (0 = default, negative disables)")
 	fs.Parse(args)
 
 	cleanup, err := setupObsv(*metrics, *trace, *parallel, *quick)
@@ -94,10 +99,25 @@ func cmdExperiments(args []string) error {
 		only = []string{strings.ToUpper(*id)}
 	}
 
+	opts := core.SuiteOpts{
+		Sizes: sizes, Parallel: *parallel, Only: only, MaxRetries: *retries,
+	}
+	if *faultSpec != "" {
+		inj, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "edgellm: injecting faults: %s\n", inj.Describe())
+		opts.Inject = inj.Hook
+	}
+
+	// Ctrl-C / SIGTERM cancels the suite; in-flight grid points finish, no
+	// new ones start, and RunAll returns context.Canceled.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	start := time.Now()
-	reports, err := core.RunAll(context.Background(), core.SuiteOpts{
-		Sizes: sizes, Parallel: *parallel, Only: only,
-	})
+	reports, err := core.RunAll(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -108,10 +128,37 @@ func cmdExperiments(args []string) error {
 			fmt.Println(r.String())
 		}
 	}
+	if failed := failedReports(reports); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "edgellm: %d of %d experiments failed:\n", len(failed), len(reports))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", r.ID, firstErrLine(r.Err))
+		}
+		return fmt.Errorf("%d of %d experiments failed", len(failed), len(reports))
+	}
 	if *id == "" {
 		fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// failedReports selects the degraded reports of a suite run.
+func failedReports(reports []*core.Report) []*core.Report {
+	var failed []*core.Report
+	for _, r := range reports {
+		if r.Failed() {
+			failed = append(failed, r)
+		}
+	}
+	return failed
+}
+
+// firstErrLine keeps the per-experiment failure summary one line per
+// experiment even when the error carries a panic stack.
+func firstErrLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // setupObsv installs a global obsv recorder when -metrics or -trace asks for
@@ -333,6 +380,6 @@ func cmdSensitivity(args []string) error {
 	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
 	iters := fs.Int("pretrain", 200, "pretraining iterations before probing")
 	fs.Parse(args)
-	fmt.Println(core.ExperimentF3(*iters).String())
+	fmt.Println(core.ExperimentF3(context.Background(), *iters).String())
 	return nil
 }

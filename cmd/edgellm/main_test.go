@@ -27,6 +27,43 @@ func TestOneExperimentUnknownID(t *testing.T) {
 	}
 }
 
+// TestCmdExperimentsFaultSmoke drives the real CLI path with injected
+// faults: a panicking experiment must degrade to an error-annotated row and
+// make the command return a failure-summary error, while healthy
+// experiments still complete.
+func TestCmdExperimentsFaultSmoke(t *testing.T) {
+	err := cmdExperiments([]string{"-quick", "-t", "F1", "-fault", "panic=F1"})
+	if err == nil {
+		t.Fatal("cmdExperiments must report the injected failure")
+	}
+	if !strings.Contains(err.Error(), "1 of 1 experiments failed") {
+		t.Fatalf("err = %v, want failure summary", err)
+	}
+}
+
+// TestCmdExperimentsFaultRecovers: a flaky (first-attempt-only) fault is
+// retried and the command succeeds.
+func TestCmdExperimentsFaultRecovers(t *testing.T) {
+	if err := cmdExperiments([]string{"-quick", "-t", "F1", "-fault", "flaky=F1"}); err != nil {
+		t.Fatalf("retry did not recover the flaky experiment: %v", err)
+	}
+}
+
+func TestCmdExperimentsBadFaultSpec(t *testing.T) {
+	if err := cmdExperiments([]string{"-quick", "-t", "F1", "-fault", "nonsense"}); err == nil {
+		t.Fatal("bad -fault spec must error")
+	}
+}
+
+func TestFirstErrLine(t *testing.T) {
+	if got := firstErrLine("boom\nstack"); got != "boom" {
+		t.Fatalf("firstErrLine = %q", got)
+	}
+	if got := firstErrLine("single"); got != "single" {
+		t.Fatalf("firstErrLine = %q", got)
+	}
+}
+
 func TestOneExperimentAnalyticIDs(t *testing.T) {
 	// The purely analytic experiments are cheap enough to run in a test;
 	// each must produce a non-empty report with the right id.

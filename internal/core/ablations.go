@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,7 +19,7 @@ import (
 // zero-forward weight-reconstruction probe vs the calibrated output-KL
 // probe. Both feed the same DP search at the same budget; the question is
 // how much policy quality the cheap probe gives up.
-func AblationProbeMetric(pretrainIters, evalBatches int) *Report {
+func AblationProbeMetric(ctx context.Context, pretrainIters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(500, cfg.Model.Vocab)
 
@@ -51,6 +52,9 @@ func AblationProbeMetric(pretrainIters, evalBatches int) *Report {
 		{"weight-error", luc.MetricWeightError},
 		{"output-KL", luc.MetricOutputKL},
 	} {
+		if ctx.Err() != nil {
+			return r // suite cancelled: RunAll discards the partial report
+		}
 		m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 		restoreParams(m, snap)
 		start := time.Now()
@@ -66,7 +70,7 @@ func AblationProbeMetric(pretrainIters, evalBatches int) *Report {
 
 // AblationPolicySearch compares greedy vs DP policy search on a probed
 // sensitivity matrix: achieved cost, achieved budget, and search time.
-func AblationPolicySearch() *Report {
+func AblationPolicySearch(ctx context.Context) *Report {
 	cfg := DefaultConfig()
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	cands := luc.DefaultCandidates()
@@ -100,7 +104,7 @@ func AblationPolicySearch() *Report {
 
 // AblationWindowStrategy compares the window schedules at equal iteration
 // budget: sliding, round-robin, top-only, and sensitivity-guided.
-func AblationWindowStrategy(iters, evalBatches int) *Report {
+func AblationWindowStrategy(ctx context.Context, iters, evalBatches int) *Report {
 	r := &Report{
 		ID:     "A3",
 		Title:  "Ablation: adaptive-tuning window strategy (voted PPL, vocab-permuted target)",
@@ -117,6 +121,9 @@ func AblationWindowStrategy(iters, evalBatches int) *Report {
 		adapt.StrategySliding, adapt.StrategyRoundRobin,
 		adapt.StrategyTopOnly, adapt.StrategySensitivity,
 	} {
+		if ctx.Err() != nil {
+			return r
+		}
 		cfg := baseCfg
 		cfg.Strategy = strat
 		p, err := New(cfg)
@@ -144,7 +151,7 @@ func AblationWindowStrategy(iters, evalBatches int) *Report {
 
 // AblationVotingMode tunes one pipeline, then evaluates every inference
 // combination rule on identical weights.
-func AblationVotingMode(iters, evalBatches int) *Report {
+func AblationVotingMode(ctx context.Context, iters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(700, cfg.Model.Vocab)
 	task.EnsureBase(cfg, 2*iters)
@@ -189,7 +196,7 @@ func AblationVotingMode(iters, evalBatches int) *Report {
 // AblationFusion quantifies elementwise-fusion: the per-iteration cost of
 // the compressed Edge-LLM workload with norm/residual/activation passes
 // fused into GEMM epilogues vs paying their own DRAM round trips.
-func AblationFusion() *Report {
+func AblationFusion(ctx context.Context) *Report {
 	dev := hwsim.EdgeGPU()
 	cfg := EdgeModelConfig()
 	const batch, seq = 4, 256
@@ -226,7 +233,7 @@ func AblationFusion() *Report {
 // AblationRefine compares the probe-driven DP policy against the same
 // policy post-processed by joint-KL coordinate descent (luc.RefinePolicy),
 // at harsh budgets where the probe's additivity assumption bites.
-func AblationRefine(pretrainIters, evalBatches int) *Report {
+func AblationRefine(ctx context.Context, pretrainIters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(800, cfg.Model.Vocab)
 	task.EnsureBase(cfg, 2*pretrainIters)
@@ -249,6 +256,9 @@ func AblationRefine(pretrainIters, evalBatches int) *Report {
 		Notes:  "refinement fixes the probe's per-layer additivity blind spot (extension beyond the paper)",
 	}
 	for _, budget := range []float64{2, 1, 0.75} {
+		if ctx.Err() != nil {
+			return r
+		}
 		m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 		task.ApplyBase(m)
 		sens := luc.Probe(m, cands, luc.ProbeOptions{Metric: luc.MetricOutputKL, Calib: flat})
@@ -274,7 +284,7 @@ func AblationRefine(pretrainIters, evalBatches int) *Report {
 
 // AblationScheduleSearch compares the schedule search methods across the
 // compressed workload's kernels: quality and search cost.
-func AblationScheduleSearch() *Report {
+func AblationScheduleSearch(ctx context.Context) *Report {
 	dev := hwsim.EdgeGPU()
 	cfg := EdgeModelConfig()
 	rows := 4 * 256

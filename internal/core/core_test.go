@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -287,7 +288,7 @@ func TestFmtHelpers(t *testing.T) {
 
 func TestAnalyticExperimentsShapes(t *testing.T) {
 	// The fully analytic experiments are fast enough to run whole in tests.
-	t3 := ExperimentT3()
+	t3 := ExperimentT3(context.Background())
 	if len(t3.Rows) != 4 {
 		t.Fatalf("T3 rows %d", len(t3.Rows))
 	}
@@ -297,15 +298,15 @@ func TestAnalyticExperimentsShapes(t *testing.T) {
 		t.Fatal("T3 speedup column malformed")
 	}
 
-	f1 := ExperimentF1()
+	f1 := ExperimentF1(context.Background())
 	if len(f1.Rows) != 5 {
 		t.Fatalf("F1 rows %d", len(f1.Rows))
 	}
-	f4 := ExperimentF4()
+	f4 := ExperimentF4(context.Background())
 	if len(f4.Rows) != 5 {
 		t.Fatalf("F4 rows %d", len(f4.Rows))
 	}
-	f5 := ExperimentF5()
+	f5 := ExperimentF5(context.Background())
 	if len(f5.Rows) != 4 {
 		t.Fatalf("F5 rows %d", len(f5.Rows))
 	}

@@ -25,7 +25,7 @@ func EdgeModelConfig() nn.Config {
 
 // ExperimentT1 regenerates Table T1: the main method comparison on the
 // synthetic task suite.
-func ExperimentT1(opts RunOpts) *Report {
+func ExperimentT1(ctx context.Context, opts RunOpts) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(100, cfg.Model.Vocab)
 	task.EnsureBase(cfg, opts.PretrainIters)
@@ -70,7 +70,7 @@ func ExperimentT1(opts RunOpts) *Report {
 // ExperimentT2 regenerates Table T2: LUC vs uniform compression at equal
 // bit budgets, measured as post-compression perplexity and post-tuning
 // perplexity.
-func ExperimentT2(tuneIters, evalBatches int) *Report {
+func ExperimentT2(ctx context.Context, tuneIters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(200, cfg.Model.Vocab)
 	cands := luc.DefaultCandidates()
@@ -144,6 +144,9 @@ func ExperimentT2(tuneIters, evalBatches int) *Report {
 		tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
 		rng := tensor.NewRNG(8)
 		for i := 0; i < tuneIters; i++ {
+			if ctx.Err() != nil {
+				return // suite cancelled: RunAll discards the partial report
+			}
 			inputs, targets := task.Train.Batch(rng, cfg.Batch, cfg.Seq)
 			tuner.Step(tr, inputs, targets)
 		}
@@ -183,7 +186,7 @@ func restoreParams(m *nn.Model, snap []*tensor.Tensor) {
 // ExperimentT3 regenerates Table T3: scheduling search results on the
 // LLaMA-shaped edge workload — naive vs searched schedules for vanilla and
 // Edge-LLM iterations, including the headline end-to-end speedup.
-func ExperimentT3() *Report {
+func ExperimentT3(ctx context.Context) *Report {
 	dev := hwsim.EdgeGPU()
 	cfg := EdgeModelConfig()
 	const batch, seq = 4, 256
@@ -261,7 +264,7 @@ func ExperimentT3() *Report {
 
 // ExperimentF1 regenerates Figure F1: the per-iteration memory breakdown
 // of each method on the LLaMA-shaped edge model.
-func ExperimentF1() *Report {
+func ExperimentF1(ctx context.Context) *Report {
 	cfg := EdgeModelConfig()
 	const batch, seq, window = 4, 256, 2
 
@@ -333,7 +336,7 @@ func ExperimentF1() *Report {
 
 // ExperimentF2 regenerates Figure F2: held-out perplexity as a function of
 // the tuned window size, with and without voting.
-func ExperimentF2(iters, evalBatches int) *Report {
+func ExperimentF2(ctx context.Context, iters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(300, cfg.Model.Vocab)
 
@@ -387,7 +390,7 @@ func ExperimentF2(iters, evalBatches int) *Report {
 
 // ExperimentF3 regenerates Figure F3: the per-layer sensitivity profile
 // that motivates layerwise policies.
-func ExperimentF3(pretrainIters int) *Report {
+func ExperimentF3(ctx context.Context, pretrainIters int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(400, cfg.Model.Vocab)
 	task.EnsureBase(cfg, 2*pretrainIters)
@@ -421,7 +424,7 @@ func ExperimentF3(pretrainIters int) *Report {
 // ExperimentF4 regenerates Figure F4: modeled per-iteration speedup as a
 // function of the backprop window size (where the headline speedup comes
 // from).
-func ExperimentF4() *Report {
+func ExperimentF4(ctx context.Context) *Report {
 	dev := hwsim.EdgeGPU()
 	cfg := EdgeModelConfig()
 	const batch, seq = 4, 256
@@ -471,7 +474,7 @@ func ExperimentF4() *Report {
 
 // ExperimentF5 regenerates Figure F5: the schedule-space latency
 // distribution for representative kernels of the compressed workload.
-func ExperimentF5() *Report {
+func ExperimentF5(ctx context.Context) *Report {
 	dev := hwsim.EdgeGPU()
 	cfg := EdgeModelConfig()
 	rows := 4 * 256
@@ -515,7 +518,7 @@ func ExperimentF5() *Report {
 // Edge-LLM iteration swept across a catalog of edge devices, with modeled
 // energy. It checks that the speedup and energy savings are not artifacts
 // of one device's balance point.
-func ExperimentF6() *Report {
+func ExperimentF6(ctx context.Context) *Report {
 	cfg := EdgeModelConfig()
 	const batch, seq = 4, 256
 	espec := hwsim.DefaultEnergy()
@@ -575,7 +578,7 @@ func ExperimentF6() *Report {
 // advantage is largest in the few-token regime — short-context on-device
 // adaptation — and settles to the compute-path ratio as kernels become
 // compute-bound.
-func ExperimentF7() *Report {
+func ExperimentF7(ctx context.Context) *Report {
 	dev := hwsim.EdgeGPU()
 	cfg := EdgeModelConfig()
 	const batch = 1

@@ -17,6 +17,23 @@ type Report struct {
 	// Notes records the expected shape from the paper for side-by-side
 	// comparison in EXPERIMENTS.md.
 	Notes string
+	// Err is non-empty for a degraded report: the experiment failed (after
+	// exhausting any retries) and Rows describe the failure instead of
+	// results.
+	Err string
+}
+
+// Failed reports whether this is a degraded report standing in for an
+// experiment that could not complete.
+func (r *Report) Failed() bool { return r.Err != "" }
+
+// firstLine truncates s at its first newline, keeping degraded table rows
+// single-line even when the error carries a stack trace.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // AddRow appends a formatted row.

@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"edgellm/internal/obsv"
 )
@@ -39,8 +42,10 @@ type Experiment struct {
 	ID string
 	// Analytic marks experiments that train nothing (pure cost modeling).
 	Analytic bool
-	// Run regenerates the report at the given sizes.
-	Run func(Sizes) *Report
+	// Run regenerates the report at the given sizes. Implementations should
+	// treat ctx as a stop request: returning early (with a partial report)
+	// is fine, since RunAll discards results once the context is cancelled.
+	Run func(ctx context.Context, s Sizes) *Report
 }
 
 // Experiments returns the ordered registry of every table, figure, and
@@ -48,25 +53,39 @@ type Experiment struct {
 // order RunAll reports results in, regardless of parallelism.
 func Experiments() []Experiment {
 	return []Experiment{
-		{ID: "T1", Run: func(s Sizes) *Report { return ExperimentT1(s.Run) }},
-		{ID: "T2", Run: func(s Sizes) *Report { return ExperimentT2(s.T2Iters, s.Run.EvalBatches) }},
-		{ID: "T3", Analytic: true, Run: func(Sizes) *Report { return ExperimentT3() }},
-		{ID: "F1", Analytic: true, Run: func(Sizes) *Report { return ExperimentF1() }},
-		{ID: "F2", Run: func(s Sizes) *Report { return ExperimentF2(s.F2Iters, s.Run.EvalBatches) }},
-		{ID: "F3", Run: func(s Sizes) *Report { return ExperimentF3(s.F3Iters) }},
-		{ID: "F4", Analytic: true, Run: func(Sizes) *Report { return ExperimentF4() }},
-		{ID: "F5", Analytic: true, Run: func(Sizes) *Report { return ExperimentF5() }},
-		{ID: "F6", Analytic: true, Run: func(Sizes) *Report { return ExperimentF6() }},
-		{ID: "F7", Analytic: true, Run: func(Sizes) *Report { return ExperimentF7() }},
-		{ID: "A1", Run: func(s Sizes) *Report { return AblationProbeMetric(s.F3Iters, s.Run.EvalBatches) }},
-		{ID: "A2", Analytic: true, Run: func(Sizes) *Report { return AblationPolicySearch() }},
-		{ID: "A3", Run: func(s Sizes) *Report { return AblationWindowStrategy(s.F2Iters, s.Run.EvalBatches) }},
-		{ID: "A4", Run: func(s Sizes) *Report { return AblationVotingMode(s.F2Iters, s.Run.EvalBatches) }},
-		{ID: "A5", Analytic: true, Run: func(Sizes) *Report { return AblationScheduleSearch() }},
-		{ID: "A6", Analytic: true, Run: func(Sizes) *Report { return AblationFusion() }},
-		{ID: "A7", Run: func(s Sizes) *Report { return AblationRefine(s.F3Iters, s.Run.EvalBatches) }},
+		{ID: "T1", Run: func(ctx context.Context, s Sizes) *Report { return ExperimentT1(ctx, s.Run) }},
+		{ID: "T2", Run: func(ctx context.Context, s Sizes) *Report { return ExperimentT2(ctx, s.T2Iters, s.Run.EvalBatches) }},
+		{ID: "T3", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return ExperimentT3(ctx) }},
+		{ID: "F1", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return ExperimentF1(ctx) }},
+		{ID: "F2", Run: func(ctx context.Context, s Sizes) *Report { return ExperimentF2(ctx, s.F2Iters, s.Run.EvalBatches) }},
+		{ID: "F3", Run: func(ctx context.Context, s Sizes) *Report { return ExperimentF3(ctx, s.F3Iters) }},
+		{ID: "F4", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return ExperimentF4(ctx) }},
+		{ID: "F5", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return ExperimentF5(ctx) }},
+		{ID: "F6", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return ExperimentF6(ctx) }},
+		{ID: "F7", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return ExperimentF7(ctx) }},
+		{ID: "A1", Run: func(ctx context.Context, s Sizes) *Report {
+			return AblationProbeMetric(ctx, s.F3Iters, s.Run.EvalBatches)
+		}},
+		{ID: "A2", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return AblationPolicySearch(ctx) }},
+		{ID: "A3", Run: func(ctx context.Context, s Sizes) *Report {
+			return AblationWindowStrategy(ctx, s.F2Iters, s.Run.EvalBatches)
+		}},
+		{ID: "A4", Run: func(ctx context.Context, s Sizes) *Report {
+			return AblationVotingMode(ctx, s.F2Iters, s.Run.EvalBatches)
+		}},
+		{ID: "A5", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return AblationScheduleSearch(ctx) }},
+		{ID: "A6", Analytic: true, Run: func(ctx context.Context, _ Sizes) *Report { return AblationFusion(ctx) }},
+		{ID: "A7", Run: func(ctx context.Context, s Sizes) *Report { return AblationRefine(ctx, s.F3Iters, s.Run.EvalBatches) }},
 	}
 }
+
+// DefaultMaxRetries is the per-experiment retry budget RunAll uses when
+// SuiteOpts.MaxRetries is zero.
+const DefaultMaxRetries = 2
+
+// DefaultRetryBackoff is the base retry delay when SuiteOpts.RetryBackoff
+// is zero; attempt k (1-based) waits DefaultRetryBackoff << (k-1).
+const DefaultRetryBackoff = 100 * time.Millisecond
 
 // SuiteOpts configures one RunAll invocation.
 type SuiteOpts struct {
@@ -80,6 +99,37 @@ type SuiteOpts struct {
 	// Only optionally restricts the run to these experiment IDs (in
 	// registry order); nil runs everything.
 	Only []string
+	// MaxRetries bounds additional attempts after a retryable failure
+	// (an error chain containing a Retryable()=true link). 0 means
+	// DefaultMaxRetries; negative disables retries entirely. Panics and
+	// permanent errors are never retried.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry; attempt k
+	// waits RetryBackoff << (k-1), so backoff is deterministic. 0 means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Inject, when non-nil, is called at the start of every task attempt
+	// with the experiment id and the 0-based attempt number. A returned
+	// error or a panic becomes that attempt's outcome — the
+	// fault-injection seam used by the tests and the CLI's -fault mode.
+	Inject func(id string, attempt int) error
+}
+
+func (o SuiteOpts) maxRetries() int {
+	if o.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		return 0
+	}
+	return o.MaxRetries
+}
+
+func (o SuiteOpts) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return o.RetryBackoff
 }
 
 // RunAll regenerates the selected experiments, fanning independent
@@ -91,6 +141,13 @@ type SuiteOpts struct {
 // derived from that task's seed, never shared across goroutines), and
 // reports are assembled in registry order, so scheduling cannot influence
 // either the numbers or their order.
+//
+// RunAll is fault-isolated: a panic inside one experiment (anywhere in its
+// grid fan-out included) is recovered and converted into a degraded,
+// error-annotated report for that experiment while every other experiment
+// completes normally. Failures whose error chain is marked retryable are
+// retried with deterministic exponential backoff before degrading. RunAll
+// returns a non-nil error only for invalid options or a cancelled context.
 func RunAll(ctx context.Context, opts SuiteOpts) ([]*Report, error) {
 	sizes := opts.Sizes
 	if sizes == (Sizes{}) {
@@ -116,28 +173,136 @@ func RunAll(ctx context.Context, opts SuiteOpts) ([]*Report, error) {
 		selected = filtered
 	}
 
-	pool := newWorkPool(opts.Parallel)
-	prev := activePool.Swap(pool)
-	defer activePool.Store(prev)
+	run := &runState{pool: newWorkPool(opts.Parallel), ctx: ctx}
+	prev := activeRun.Swap(run)
+	defer activeRun.Store(prev)
 
 	suite := obsv.StartSpan("suite.run", obsv.L("parallel", fmt.Sprint(opts.Parallel)))
 	defer suite.EndWith(map[string]float64{"experiments": float64(len(selected))})
 
 	reports := make([]*Report, len(selected))
 	parallelFor(len(selected), func(i int) {
-		if ctx.Err() != nil {
-			return
-		}
-		e := selected[i]
-		sp := obsv.StartSpan("experiment", obsv.L("id", e.ID))
-		reports[i] = e.Run(sizes)
-		sp.End()
+		reports[i] = runTask(ctx, selected[i], sizes, opts)
 		obsv.Add("suite.experiments_done", 1)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return reports, nil
+}
+
+// runTask drives one experiment through its attempt/retry loop and always
+// produces a report: the experiment's own on success, a degraded
+// error-annotated one once the retry budget is exhausted or the failure is
+// not retryable.
+func runTask(ctx context.Context, e Experiment, sizes Sizes, opts SuiteOpts) *Report {
+	maxRetries := opts.maxRetries()
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			obsv.Add("suite.retries", 1)
+			select {
+			case <-ctx.Done():
+				return failedReport(e.ID, ctx.Err())
+			case <-time.After(opts.retryBackoff() << (attempt - 1)):
+			}
+		}
+		rep, err := runAttempt(ctx, e, sizes, opts, attempt)
+		if err == nil {
+			if attempt > 0 {
+				obsv.Add("suite.retry_recoveries", 1)
+			}
+			return rep
+		}
+		lastErr = err
+		if ctx.Err() != nil || !IsRetryable(err) {
+			break
+		}
+	}
+	obsv.Add("suite.task_failures", 1)
+	return failedReport(e.ID, lastErr)
+}
+
+// runAttempt executes a single attempt of an experiment, converting any
+// panic — from the experiment body or re-propagated out of its grid-level
+// parallelFor — into an error.
+func runAttempt(ctx context.Context, e Experiment, sizes Sizes, opts SuiteOpts, attempt int) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			obsv.Add("suite.panics_recovered", 1)
+			rep = nil
+			if tp, ok := r.(*taskPanic); ok {
+				err = &PanicError{ID: e.ID, Value: tp.val, Stack: tp.stack}
+			} else {
+				err = &PanicError{ID: e.ID, Value: r, Stack: debug.Stack()}
+			}
+		}
+	}()
+	sp := obsv.StartSpan("experiment", obsv.L("id", e.ID), obsv.L("attempt", fmt.Sprint(attempt)))
+	defer sp.End()
+	if opts.Inject != nil {
+		if err := opts.Inject(e.ID, attempt); err != nil {
+			return nil, err
+		}
+	}
+	rep = e.Run(ctx, sizes)
+	if rep == nil {
+		return nil, fmt.Errorf("core: experiment %s returned no report", e.ID)
+	}
+	return rep, nil
+}
+
+// PanicError is a recovered panic from an experiment task, carrying the
+// panic value and the stack of the panicking goroutine.
+type PanicError struct {
+	// ID is the experiment the panic was recovered from.
+	ID string
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: experiment %s panicked: %v", e.ID, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (e.g. a
+// *train.DivergenceError), so IsRetryable and errors.As see through the
+// recovery.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// IsRetryable walks err's Unwrap chain looking for a Retryable() bool
+// marker (e.g. fault.TransientError). Unmarked errors — including panics,
+// whose repeat is near-certain — are not retryable.
+func IsRetryable(err error) bool {
+	for err != nil {
+		if r, ok := err.(interface{ Retryable() bool }); ok {
+			return r.Retryable()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// failedReport is the degraded row RunAll emits for an experiment that
+// exhausted its attempts: the suite's output stays complete and ordered,
+// with the failure visible instead of silently missing.
+func failedReport(id string, err error) *Report {
+	r := &Report{
+		ID:     id,
+		Title:  "FAILED (degraded result)",
+		Header: []string{"Status", "Error"},
+		Err:    err.Error(),
+	}
+	r.AddRow("failed", firstLine(err.Error()))
+	return r
 }
 
 // --- bounded worker pool -----------------------------------------------------
@@ -158,39 +323,105 @@ func newWorkPool(parallel int) *workPool {
 	return &workPool{slots: make(chan struct{}, parallel-1)}
 }
 
-// activePool is the pool installed by the currently running RunAll; nil
-// means all parallelFor calls execute inline. Experiments call parallelFor
-// unconditionally and inherit whatever budget the runner installed.
-var activePool atomic.Pointer[workPool]
+// runState is the context a running RunAll installs for every parallelFor
+// underneath it: the shared worker pool plus the suite's cancellation
+// context.
+type runState struct {
+	pool *workPool
+	ctx  context.Context
+}
 
-// parallelFor runs fn(0..n-1), each call exactly once. When a pool is
-// installed, tasks are offloaded to worker goroutines while slots are
-// available and run inline on the caller otherwise — the inline fallback
-// is what makes nesting deadlock-free: a parent waiting on its grid always
-// makes progress by running grid points itself. Callers must make fn(i)
-// touch only per-i state (or read-only shared state); results land in
-// slot i of a pre-sized slice, so output order never depends on timing.
+// activeRun is the state installed by the currently running RunAll; nil
+// means all parallelFor calls execute inline without cancellation checks.
+// Experiments call parallelFor unconditionally and inherit whatever budget
+// and context the runner installed.
+var activeRun atomic.Pointer[runState]
+
+// cancelled reports whether the installed run's context is done.
+func (r *runState) cancelled() bool {
+	return r != nil && r.ctx != nil && r.ctx.Err() != nil
+}
+
+// taskPanic carries a panic recovered on a pool goroutine back to the
+// parallelFor caller, where it is re-thrown so the per-task recovery in
+// runAttempt (or a test) can handle it on the right stack.
+type taskPanic struct {
+	val   any
+	stack []byte
+}
+
+// parallelFor runs fn(0..n-1), each call exactly once, unless the suite
+// context is cancelled or a task panics — both stop new tasks from
+// starting. When a pool is installed, tasks are offloaded to worker
+// goroutines while slots are available and run inline on the caller
+// otherwise — the inline fallback is what makes nesting deadlock-free: a
+// parent waiting on its grid always makes progress by running grid points
+// itself.
+//
+// A panic in any task (pooled or inline) is captured, the remaining tasks
+// are skipped, all in-flight workers are drained, and the first panic is
+// re-thrown on the caller as a *taskPanic — so a crashing grid point takes
+// down its experiment attempt, never the process or an unrelated worker.
+//
+// Callers must make fn(i) touch only per-i state (or read-only shared
+// state); results land in slot i of a pre-sized slice, so output order
+// never depends on timing.
 func parallelFor(n int, fn func(i int)) {
-	p := activePool.Load()
-	if p == nil || n <= 1 {
+	run := activeRun.Load()
+	var mu sync.Mutex
+	var first *taskPanic
+	capture := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if first == nil {
+					first = &taskPanic{val: r, stack: debug.Stack()}
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	stopped := func() bool {
+		if run.cancelled() {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return first != nil
+	}
+
+	if run == nil || run.pool == nil || n <= 1 {
+		// Sequential: fn runs on the caller's stack, so a panic propagates
+		// naturally to the per-attempt recovery without capture machinery.
 		for i := 0; i < n; i++ {
+			if run.cancelled() {
+				return
+			}
 			fn(i)
 		}
 		return
 	}
+	pool := run.pool
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if stopped() {
+			break
+		}
 		select {
-		case p.slots <- struct{}{}:
+		case pool.slots <- struct{}{}:
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				defer func() { <-p.slots }()
-				fn(i)
+				defer func() { <-pool.slots }()
+				capture(i)
 			}(i)
 		default:
-			fn(i)
+			capture(i)
 		}
 	}
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
 }

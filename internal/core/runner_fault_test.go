@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edgellm/internal/fault"
+	"edgellm/internal/obsv"
+)
+
+// fastRetry keeps retry backoff out of test wall-clock.
+const fastRetry = time.Millisecond
+
+// analyticOnly is a cheap all-analytic selection for fault tests: nothing
+// trains, so injected failures dominate the runtime.
+var analyticOnly = []string{"T3", "F1", "F4"}
+
+// TestRunAllIsolatesPanic is the panic-isolation acceptance criterion: with
+// a panic injected into one experiment, RunAll must complete every other
+// experiment, report the failed one as a degraded row, and not crash — at
+// any parallelism.
+func TestRunAllIsolatesPanic(t *testing.T) {
+	inj, err := fault.ParseSpec("panic=F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 3} {
+		reports, err := RunAll(context.Background(), SuiteOpts{
+			Sizes: tinySizes(), Parallel: parallel, Only: analyticOnly,
+			Inject: inj.Hook, RetryBackoff: fastRetry,
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: RunAll failed outright: %v", parallel, err)
+		}
+		if len(reports) != len(analyticOnly) {
+			t.Fatalf("parallel=%d: %d reports, want %d", parallel, len(reports), len(analyticOnly))
+		}
+		for i, r := range reports {
+			if r.ID != analyticOnly[i] {
+				t.Fatalf("parallel=%d: report %d is %s, want %s", parallel, i, r.ID, analyticOnly[i])
+			}
+			if r.ID == "F1" {
+				if !r.Failed() {
+					t.Fatalf("parallel=%d: injected panic did not degrade F1", parallel)
+				}
+				if !strings.Contains(r.Err, "injected panic") {
+					t.Fatalf("parallel=%d: F1 error %q does not name the panic", parallel, r.Err)
+				}
+			} else if r.Failed() {
+				t.Fatalf("parallel=%d: healthy experiment %s degraded: %s", parallel, r.ID, r.Err)
+			}
+		}
+	}
+}
+
+// TestRunAllRetryRecoversTransient: a first-attempt transient failure must
+// be retried and recovered, leaving a healthy report and visible retry
+// metrics.
+func TestRunAllRetryRecoversTransient(t *testing.T) {
+	rec := obsv.New()
+	obsv.SetGlobal(rec)
+	defer obsv.SetGlobal(nil)
+
+	inj, err := fault.ParseSpec("flaky=F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := RunAll(context.Background(), SuiteOpts{
+		Sizes: tinySizes(), Parallel: 1, Only: []string{"F1"},
+		Inject: inj.Hook, RetryBackoff: fastRetry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Failed() {
+		t.Fatalf("flaky experiment not recovered by retry: %s", reports[0].Err)
+	}
+	snap := rec.Snapshot()
+	if snap.Counters["suite.retries"] != 1 {
+		t.Fatalf("suite.retries = %d, want 1", snap.Counters["suite.retries"])
+	}
+	if snap.Counters["suite.retry_recoveries"] != 1 {
+		t.Fatalf("suite.retry_recoveries = %d, want 1", snap.Counters["suite.retry_recoveries"])
+	}
+	if snap.Counters["suite.task_failures"] != 0 {
+		t.Fatalf("suite.task_failures = %d, want 0", snap.Counters["suite.task_failures"])
+	}
+}
+
+// TestRunAllPermanentErrorNotRetried: a non-retryable failure must degrade
+// after exactly one attempt.
+func TestRunAllPermanentErrorNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	reports, err := RunAll(context.Background(), SuiteOpts{
+		Sizes: tinySizes(), Parallel: 1, Only: []string{"F1"},
+		RetryBackoff: fastRetry,
+		Inject: func(id string, attempt int) error {
+			attempts.Add(1)
+			return &fault.PermanentError{Msg: "broken for good"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Failed() || !strings.Contains(reports[0].Err, "permanent") {
+		t.Fatalf("permanent failure not reported: %+v", reports[0])
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("permanent error attempted %d times, want 1", attempts.Load())
+	}
+}
+
+// TestRunAllRetryBudgetExhausted: an always-transient failure is retried up
+// to MaxRetries and then degrades.
+func TestRunAllRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	reports, err := RunAll(context.Background(), SuiteOpts{
+		Sizes: tinySizes(), Parallel: 1, Only: []string{"F1"},
+		MaxRetries: 2, RetryBackoff: fastRetry,
+		Inject: func(id string, attempt int) error {
+			attempts.Add(1)
+			return &fault.TransientError{Msg: fmt.Sprintf("attempt %d", attempt)}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Failed() {
+		t.Fatal("exhausted retries must degrade the report")
+	}
+	if attempts.Load() != 3 { // initial + 2 retries
+		t.Fatalf("attempts = %d, want 3", attempts.Load())
+	}
+}
+
+// TestRunAllNegativeMaxRetriesDisables: MaxRetries < 0 means one attempt,
+// even for retryable failures.
+func TestRunAllNegativeMaxRetriesDisables(t *testing.T) {
+	var attempts atomic.Int64
+	reports, err := RunAll(context.Background(), SuiteOpts{
+		Sizes: tinySizes(), Parallel: 1, Only: []string{"F1"},
+		MaxRetries: -1, RetryBackoff: fastRetry,
+		Inject: func(string, int) error {
+			attempts.Add(1)
+			return &fault.TransientError{Msg: "transient"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Failed() || attempts.Load() != 1 {
+		t.Fatalf("failed=%v attempts=%d, want degraded after exactly 1 attempt",
+			reports[0].Failed(), attempts.Load())
+	}
+}
+
+// TestRunAllCancelledMidRun: cancellation from inside the run (as a signal
+// handler would do) surfaces as RunAll's error.
+func TestRunAllCancelledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunAll(ctx, SuiteOpts{
+		Sizes: tinySizes(), Parallel: 2, Only: analyticOnly,
+		Inject: func(string, int) error {
+			cancel()
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{&fault.TransientError{Msg: "x"}, true},
+		{fmt.Errorf("wrapped: %w", &fault.TransientError{Msg: "x"}), true},
+		{&fault.PermanentError{Msg: "x"}, false},
+		{&PanicError{ID: "F1", Value: "string panic"}, false},
+		{&PanicError{ID: "F1", Value: &fault.TransientError{Msg: "x"}}, true},
+	}
+	for i, tc := range cases {
+		if got := IsRetryable(tc.err); got != tc.want {
+			t.Fatalf("case %d (%v): IsRetryable = %v, want %v", i, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestParallelForPanicPropagation: a panic on a pool goroutine must come
+// back to the caller (as *taskPanic) after all in-flight tasks drain — not
+// kill the process, and not hang.
+func TestParallelForPanicPropagation(t *testing.T) {
+	defer installPool(4)()
+	var ran atomic.Int64
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		parallelFor(32, func(i int) {
+			if i == 5 {
+				panic("grid point blew up")
+			}
+			ran.Add(1)
+		})
+	}()
+	tp, ok := recovered.(*taskPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *taskPanic", recovered, recovered)
+	}
+	if fmt.Sprint(tp.val) != "grid point blew up" {
+		t.Fatalf("panic value = %v", tp.val)
+	}
+	if len(tp.stack) == 0 {
+		t.Fatal("taskPanic lost the stack trace")
+	}
+	if ran.Load() == 0 || ran.Load() >= 32 {
+		t.Fatalf("ran = %d, want some but not all tasks", ran.Load())
+	}
+}
+
+// TestFailedReportRenders: degraded reports must render through both output
+// paths without crashing and advertise their failure.
+func TestFailedReportRenders(t *testing.T) {
+	r := failedReport("F9", errors.New("boom\nwith a second line"))
+	if !r.Failed() || r.ID != "F9" {
+		t.Fatalf("bad degraded report: %+v", r)
+	}
+	if s := r.String(); !strings.Contains(s, "boom") || strings.Contains(s, "second line") {
+		t.Fatalf("String() = %q: want first error line only", s)
+	}
+	if md := r.Markdown(); !strings.Contains(md, "boom") {
+		t.Fatalf("Markdown() = %q", md)
+	}
+}

@@ -97,13 +97,18 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 }
 
+// installPool installs a bare worker pool (no cancellation context) for
+// direct parallelFor tests and returns the teardown.
+func installPool(parallel int) func() {
+	prev := activeRun.Swap(&runState{pool: newWorkPool(parallel)})
+	return func() { activeRun.Store(prev) }
+}
+
 // TestParallelForBounded checks the pool's concurrency invariant: at most
 // `parallel` tasks in flight, counting the caller's inline execution.
 func TestParallelForBounded(t *testing.T) {
 	const parallel = 3
-	pool := newWorkPool(parallel)
-	prev := activePool.Swap(pool)
-	defer activePool.Store(prev)
+	defer installPool(parallel)()
 
 	var inFlight, peak atomic.Int64
 	parallelFor(64, func(int) {
@@ -127,9 +132,7 @@ func TestParallelForBounded(t *testing.T) {
 // TestParallelForNested makes sure nested fan-out over one shared pool
 // neither deadlocks nor drops tasks.
 func TestParallelForNested(t *testing.T) {
-	pool := newWorkPool(4)
-	prev := activePool.Swap(pool)
-	defer activePool.Store(prev)
+	defer installPool(4)()
 
 	var total atomic.Int64
 	parallelFor(8, func(int) {

@@ -1,0 +1,199 @@
+// Package fault provides deterministic failure-injection primitives for
+// the fault-tolerance test suite and the CLI's -fault smoke mode: writers
+// that fail on a chosen call, tripwires that fire on a chosen activation,
+// seeded bit-flip corrupters for durability tests, and an experiment-suite
+// injector that maps experiment ids to failure modes.
+//
+// Everything in this package is deterministic. Corrupters derive their
+// choices from an explicit seed, tripwires and writers count calls, and the
+// injector keys strictly off (experiment id, attempt). A test that injects
+// a fault therefore fails the same way on every run.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// TransientError is an injected failure that models a recoverable
+// condition (I/O hiccup, preempted worker). The experiment runner treats
+// any error chain containing a Retryable()=true link as retryable.
+type TransientError struct{ Msg string }
+
+// Error implements error.
+func (e *TransientError) Error() string { return "fault: transient: " + e.Msg }
+
+// Retryable marks the error as clearable by a retry.
+func (e *TransientError) Retryable() bool { return true }
+
+// PermanentError is an injected failure that a retry must not clear.
+type PermanentError struct{ Msg string }
+
+// Error implements error.
+func (e *PermanentError) Error() string { return "fault: permanent: " + e.Msg }
+
+// FailNthWriter passes writes through to W until the Nth Write call
+// (1-based), which fails with Err without writing anything. Later calls
+// keep failing, modelling a dead disk rather than a one-off glitch.
+type FailNthWriter struct {
+	W   io.Writer
+	N   int
+	Err error
+
+	calls int
+}
+
+// Write implements io.Writer.
+func (w *FailNthWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.calls >= w.N {
+		err := w.Err
+		if err == nil {
+			err = &TransientError{Msg: fmt.Sprintf("injected write failure (call %d)", w.calls)}
+		}
+		return 0, err
+	}
+	return w.W.Write(p)
+}
+
+// Calls reports how many Write calls have been made.
+func (w *FailNthWriter) Calls() int { return w.calls }
+
+// Tripwire fires on its Nth activation (1-based). It is safe for
+// concurrent use, so a tripwire can be shared across parallel grid points.
+type Tripwire struct {
+	N     int64
+	calls atomic.Int64
+}
+
+// Hit records one activation and reports whether this was the Nth.
+func (t *Tripwire) Hit() bool { return t.calls.Add(1) == t.N }
+
+// MustNotPanic is a step hook that panics on the Nth activation; tests use
+// it to prove the runner isolates a crashing task.
+func (t *Tripwire) PanicOnNth(msg string) {
+	if t.Hit() {
+		panic(fmt.Sprintf("fault: injected panic: %s (activation %d)", msg, t.N))
+	}
+}
+
+// FlipBit flips bit i (0 ≤ i < 8·len(buf)) of buf in place.
+func FlipBit(buf []byte, i int) {
+	buf[i/8] ^= 1 << (i % 8)
+}
+
+// Corrupter deals seeded, reproducible corruption for durability tests.
+type Corrupter struct{ rng *rand.Rand }
+
+// NewCorrupter returns a corrupter whose choices are fully determined by
+// seed.
+func NewCorrupter(seed int64) *Corrupter {
+	return &Corrupter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FlipRandomBit flips one uniformly chosen bit of buf and returns its
+// index.
+func (c *Corrupter) FlipRandomBit(buf []byte) int {
+	i := c.rng.Intn(8 * len(buf))
+	FlipBit(buf, i)
+	return i
+}
+
+// Truncate returns buf cut to a uniformly chosen proper prefix (possibly
+// empty).
+func (c *Corrupter) Truncate(buf []byte) []byte {
+	return buf[:c.rng.Intn(len(buf))]
+}
+
+// --- experiment-suite injection ----------------------------------------------
+
+// Mode is one injected failure behaviour for a suite task.
+type Mode string
+
+const (
+	// ModePanic panics on every attempt: the task degrades to an
+	// error-annotated row no matter how often it is retried.
+	ModePanic Mode = "panic"
+	// ModeFlaky fails the first attempt with a retryable error and lets
+	// every later attempt through: bounded retry recovers the task.
+	ModeFlaky Mode = "flaky"
+	// ModeFail returns a permanent, non-retryable error on every attempt.
+	ModeFail Mode = "fail"
+)
+
+// Injector maps experiment ids to injected failure modes. Its Hook method
+// matches the experiment runner's injection seam.
+type Injector struct{ modes map[string]Mode }
+
+// ParseSpec builds an Injector from a comma-separated list of mode=ID
+// pairs, e.g. "panic=F5,flaky=T3,fail=A2". The shorthand "smoke" expands
+// to a built-in spec exercising one permanent panic and one retried
+// transient failure on cheap analytic experiments.
+func ParseSpec(spec string) (*Injector, error) {
+	if spec == "smoke" {
+		spec = "panic=F5,flaky=T3"
+	}
+	in := &Injector{modes: map[string]Mode{}}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		mode, id, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad injection %q (want mode=ID)", part)
+		}
+		switch Mode(mode) {
+		case ModePanic, ModeFlaky, ModeFail:
+			in.modes[strings.ToUpper(strings.TrimSpace(id))] = Mode(mode)
+		default:
+			return nil, fmt.Errorf("fault: unknown injection mode %q (want panic, flaky, or fail)", mode)
+		}
+	}
+	if len(in.modes) == 0 {
+		return nil, fmt.Errorf("fault: empty injection spec %q", spec)
+	}
+	return in, nil
+}
+
+// Targets returns the injected experiment ids in sorted order.
+func (in *Injector) Targets() []string {
+	ids := make([]string, 0, len(in.modes))
+	for id := range in.modes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe renders the injection plan for logs.
+func (in *Injector) Describe() string {
+	var b strings.Builder
+	for i, id := range in.Targets() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", in.modes[id], id)
+	}
+	return b.String()
+}
+
+// Hook is the runner injection seam: it is called at the start of every
+// task attempt and fails (or panics) according to the configured mode.
+func (in *Injector) Hook(id string, attempt int) error {
+	switch in.modes[id] {
+	case ModePanic:
+		panic(fmt.Sprintf("fault: injected panic in %s (attempt %d)", id, attempt))
+	case ModeFlaky:
+		if attempt == 0 {
+			return &TransientError{Msg: fmt.Sprintf("injected first-attempt failure in %s", id)}
+		}
+	case ModeFail:
+		return &PermanentError{Msg: fmt.Sprintf("injected permanent failure in %s", id)}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFailNthWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FailNthWriter{W: &buf, N: 3}
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("ab")); err != nil {
+			t.Fatalf("write %d failed early: %v", i+1, err)
+		}
+	}
+	if _, err := w.Write([]byte("cd")); err == nil {
+		t.Fatal("third write must fail")
+	}
+	if _, err := w.Write([]byte("ef")); err == nil {
+		t.Fatal("writes after the failure must keep failing")
+	}
+	if buf.String() != "abab" {
+		t.Fatalf("underlying writer saw %q, want %q", buf.String(), "abab")
+	}
+	if w.Calls() != 4 {
+		t.Fatalf("calls = %d, want 4", w.Calls())
+	}
+}
+
+func TestFailNthWriterCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	w := &FailNthWriter{W: &bytes.Buffer{}, N: 1, Err: sentinel}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestTripwireFiresExactlyOnce(t *testing.T) {
+	tw := &Tripwire{N: 3}
+	fired := 0
+	for i := 0; i < 6; i++ {
+		if tw.Hit() {
+			fired++
+			if i != 2 {
+				t.Fatalf("fired on activation %d, want 3", i+1)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+}
+
+func TestPanicOnNth(t *testing.T) {
+	tw := &Tripwire{N: 2}
+	tw.PanicOnNth("no") // first activation: no panic
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second activation must panic")
+		}
+		if !strings.Contains(r.(string), "injected panic") {
+			t.Fatalf("panic value %v lacks marker", r)
+		}
+	}()
+	tw.PanicOnNth("yes")
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	buf := []byte{0x00, 0xff, 0x5a}
+	orig := append([]byte(nil), buf...)
+	for bit := 0; bit < 8*len(buf); bit++ {
+		FlipBit(buf, bit)
+		if bytes.Equal(buf, orig) {
+			t.Fatalf("bit %d flip changed nothing", bit)
+		}
+		FlipBit(buf, bit)
+		if !bytes.Equal(buf, orig) {
+			t.Fatalf("double flip of bit %d is not identity", bit)
+		}
+	}
+}
+
+func TestCorrupterDeterministic(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	ca, cb := NewCorrupter(9), NewCorrupter(9)
+	for i := 0; i < 10; i++ {
+		if ca.FlipRandomBit(a) != cb.FlipRandomBit(b) {
+			t.Fatal("same seed must flip the same bits")
+		}
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed corrupters diverged")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("panic=F5, flaky=t3,fail=A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Targets(); len(got) != 3 || got[0] != "A2" || got[1] != "F5" || got[2] != "T3" {
+		t.Fatalf("targets = %v", got)
+	}
+	if d := in.Describe(); !strings.Contains(d, "panic=F5") || !strings.Contains(d, "flaky=T3") {
+		t.Fatalf("describe = %q", d)
+	}
+	for _, bad := range []string{"", "explode=T1", "T1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q must be rejected", bad)
+		}
+	}
+}
+
+func TestInjectorModes(t *testing.T) {
+	in, err := ParseSpec("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untargeted id: no effect on any attempt.
+	if err := in.Hook("T1", 0); err != nil {
+		t.Fatalf("untargeted id errored: %v", err)
+	}
+	// Flaky: first attempt fails retryably, second passes.
+	err = in.Hook("T3", 0)
+	if err == nil {
+		t.Fatal("flaky target must fail attempt 0")
+	}
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("flaky failure %T is not transient", err)
+	}
+	if err := in.Hook("T3", 1); err != nil {
+		t.Fatalf("flaky target must pass attempt 1: %v", err)
+	}
+	// Panic: every attempt panics.
+	for attempt := 0; attempt < 2; attempt++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("panic target must panic on attempt %d", attempt)
+				}
+			}()
+			in.Hook("F5", attempt)
+		}()
+	}
+}
+
+func TestInjectorFailMode(t *testing.T) {
+	in, err := ParseSpec("fail=A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		err := in.Hook("A2", attempt)
+		if err == nil {
+			t.Fatalf("fail target must error on attempt %d", attempt)
+		}
+		var pe *PermanentError
+		if !errors.As(err, &pe) {
+			t.Fatalf("fail mode produced %T, want permanent", err)
+		}
+	}
+}

@@ -5,14 +5,30 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"edgellm/internal/tensor"
 )
 
-// checkpointMagic identifies the checkpoint container format.
-var checkpointMagic = [8]byte{'E', 'L', 'L', 'M', 'C', 'K', 'P', '1'}
+// Checkpoint container format v2 (crash-safe):
+//
+//	magic "ELLMCKP2" | uint32 header length | JSON header |
+//	tensors in header order (tensor.WriteTo framing) |
+//	footer: "ELCF" | uint32 CRC32-IEEE over every preceding byte
+//
+// The checksummed footer turns any torn write, truncation, or bit flip —
+// in the header or the payload — into a diagnostic load error instead of a
+// silently corrupted model. Format v1 ("ELLMCKP1", no footer) remains
+// loadable for checkpoints written before the footer existed.
+var (
+	checkpointMagicV2 = [8]byte{'E', 'L', 'L', 'M', 'C', 'K', 'P', '2'}
+	checkpointMagicV1 = [8]byte{'E', 'L', 'L', 'M', 'C', 'K', 'P', '1'}
+	checkpointFooter  = [4]byte{'E', 'L', 'C', 'F'}
+)
 
 // checkpointHeader is the JSON header preceding the tensor payload.
 type checkpointHeader struct {
@@ -20,9 +36,32 @@ type checkpointHeader struct {
 	Names  []string `json:"names"`
 }
 
-// Save serialises the model (config + every named parameter) to w. The
-// format is: magic | uint32 header length | JSON header | tensors in
-// header order (tensor.WriteTo framing).
+// crcWriter forwards to w while folding every byte into a CRC32.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// crcReader forwards reads from r while folding every byte into a CRC32.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// Save serialises the model (config + every named parameter) to w in
+// checkpoint format v2, ending with the CRC32 footer.
 func (m *Model) Save(w io.Writer) error {
 	params := m.Params()
 	hdr := checkpointHeader{Config: m.Cfg}
@@ -33,44 +72,87 @@ func (m *Model) Save(w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("nn: marshal checkpoint header: %w", err)
 	}
-	if _, err := w.Write(checkpointMagic[:]); err != nil {
-		return err
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	if _, err := cw.Write(checkpointMagicV2[:]); err != nil {
+		return fmt.Errorf("nn: write checkpoint magic: %w", err)
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(hdrBytes))); err != nil {
-		return err
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(hdrBytes))); err != nil {
+		return fmt.Errorf("nn: write checkpoint header length: %w", err)
 	}
-	if _, err := w.Write(hdrBytes); err != nil {
-		return err
+	if _, err := cw.Write(hdrBytes); err != nil {
+		return fmt.Errorf("nn: write checkpoint header: %w", err)
 	}
 	for _, p := range params {
-		if _, err := p.Value.Data.WriteTo(w); err != nil {
+		if _, err := p.Value.Data.WriteTo(cw); err != nil {
 			return fmt.Errorf("nn: write %s: %w", p.Name, err)
 		}
+	}
+	// Footer goes to the raw writer: the CRC covers everything before it.
+	sum := cw.crc.Sum32()
+	if _, err := w.Write(checkpointFooter[:]); err != nil {
+		return fmt.Errorf("nn: write checkpoint footer: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
+		return fmt.Errorf("nn: write checkpoint checksum: %w", err)
 	}
 	return nil
 }
 
 // Load reads a checkpoint written by Save, rebuilding the model from the
 // stored config and filling in every parameter. Name order and shapes are
-// verified against the freshly built architecture.
+// verified against the freshly built architecture, and for v2 checkpoints
+// the CRC32 footer is verified before the model is returned, so a
+// truncated or bit-flipped file can never load successfully.
 func Load(r io.Reader) (*Model, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: read checkpoint magic: %w", err)
 	}
-	if magic != checkpointMagic {
+	switch magic {
+	case checkpointMagicV1:
+		// Legacy format: no footer, no integrity check.
+		return loadBody(r)
+	case checkpointMagicV2:
+	default:
 		return nil, fmt.Errorf("nn: not an edgellm checkpoint (magic %q)", magic)
 	}
+	cr := &crcReader{r: r, crc: crc32.NewIEEE()}
+	cr.crc.Write(magic[:])
+	m, err := loadBody(cr)
+	if err != nil {
+		return nil, err
+	}
+	want := cr.crc.Sum32()
+	var footer [4]byte
+	if _, err := io.ReadFull(r, footer[:]); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint truncated before footer: %w", err)
+	}
+	if footer != checkpointFooter {
+		return nil, fmt.Errorf("nn: bad checkpoint footer %q (truncated or corrupt)", footer)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint truncated inside checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("nn: checkpoint checksum mismatch (stored %08x, computed %08x): file is corrupt", sum, want)
+	}
+	return m, nil
+}
+
+// loadBody reads the header and tensor payload (everything between the
+// magic and the footer) and reconstructs the model.
+func loadBody(r io.Reader) (*Model, error) {
 	var hdrLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &hdrLen); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: read checkpoint header length: %w", err)
 	}
 	if hdrLen > 1<<20 {
 		return nil, fmt.Errorf("nn: implausible header length %d", hdrLen)
 	}
 	hdrBytes := make([]byte, hdrLen)
 	if _, err := io.ReadFull(r, hdrBytes); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: read checkpoint header: %w", err)
 	}
 	var hdr checkpointHeader
 	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
@@ -103,22 +185,53 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// SaveFile writes the model checkpoint to a file path.
-func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
+// WriteFileAtomic writes whatever `write` produces to path crash-safely:
+// the bytes go to a temp file in the same directory, are flushed and
+// fsynced, and only then renamed over path. A crash or failure at any
+// point leaves either the old file or no file — never a torn one. The
+// train package reuses it for loop snapshots.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
+		return fmt.Errorf("nn: create temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	if err := m.Save(w); err != nil {
-		f.Close()
-		return err
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("nn: flush %s: %w", tmp.Name(), err)
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("nn: fsync %s: %w", tmp.Name(), err)
 	}
-	return f.Close()
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("nn: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("nn: rename into place: %w", err)
+	}
+	// Persist the rename itself; best-effort (some filesystems refuse
+	// directory fsync).
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveFile writes the model checkpoint to a file path atomically
+// (write-temp, fsync, rename): an interrupted save never clobbers an
+// existing good checkpoint with a partial one.
+func (m *Model) SaveFile(path string) error {
+	return WriteFileAtomic(path, m.Save)
 }
 
 // LoadFile reads a model checkpoint from a file path.

@@ -2,9 +2,13 @@ package nn
 
 import (
 	"bytes"
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"edgellm/internal/fault"
 	"edgellm/internal/tensor"
 )
 
@@ -97,5 +101,161 @@ func TestLoadRejectsTruncated(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile("/nonexistent/model.ckpt"); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestLoadRejectsEveryTruncation cuts the checkpoint at a sweep of prefix
+// lengths; every cut must fail with an error, never panic or load.
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyModel(64).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cuts := []int{0, 1, 7, 8, 9, 11, 12, len(full) - 1, len(full) - 4, len(full) - 8, len(full) - 9}
+	for c := 13; c < len(full); c += 31 {
+		cuts = append(cuts, c)
+	}
+	for _, c := range cuts {
+		if _, err := Load(bytes.NewReader(full[:c])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded successfully", c, len(full))
+		}
+	}
+}
+
+// TestLoadRejectsBitFlips flips single bits across the whole container —
+// densely through the magic, header length, and header; strided through
+// the tensor payload; densely through the footer — and requires every flip
+// to surface as a load error (the acceptance criterion: a checkpoint with
+// any flipped bit must never load).
+func TestLoadRejectsBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyModel(65).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	var bits []int
+	// Magic, header length, and the start of the JSON header.
+	for b := 0; b < 8*96 && b < 8*len(full); b++ {
+		bits = append(bits, b)
+	}
+	// Strided sweep over the rest of the body.
+	stride := 101
+	if testing.Short() {
+		stride = 1009
+	}
+	for b := 8 * 96; b < 8*(len(full)-8); b += stride {
+		bits = append(bits, b)
+	}
+	// Entire footer (marker + checksum).
+	for b := 8 * (len(full) - 8); b < 8*len(full); b++ {
+		bits = append(bits, b)
+	}
+	for _, bit := range bits {
+		corrupt := append([]byte(nil), full...)
+		fault.FlipBit(corrupt, bit)
+		m, err := Load(bytes.NewReader(corrupt))
+		if err == nil {
+			t.Fatalf("bit flip at bit %d (byte %d) loaded successfully", bit, bit/8)
+		}
+		if m != nil {
+			t.Fatalf("bit flip at bit %d returned a model alongside the error", bit)
+		}
+	}
+}
+
+// TestLoadRejectsSeededRandomFlips complements the strided sweep with
+// seeded uniform flips, so payload bytes the stride skips still get
+// coverage across runs of the suite.
+func TestLoadRejectsSeededRandomFlips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyModel(66).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	c := fault.NewCorrupter(42)
+	for i := 0; i < 200; i++ {
+		corrupt := append([]byte(nil), full...)
+		bit := c.FlipRandomBit(corrupt)
+		if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("random flip %d (bit %d) loaded successfully", i, bit)
+		}
+	}
+}
+
+// TestLoadChecksumErrorIsDiagnostic: payload corruption that leaves the
+// structure parseable must be reported as a checksum mismatch, pointing
+// the operator at file damage rather than a code bug.
+func TestLoadChecksumErrorIsDiagnostic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyModel(67).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip a low-order mantissa bit deep in the tensor payload: every
+	// framing field still parses, so only the checksum can catch it.
+	fault.FlipBit(full, 8*(len(full)-64))
+	_, err := Load(bytes.NewReader(full))
+	if err == nil {
+		t.Fatal("payload corruption loaded successfully")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("error %q does not mention the checksum", err)
+	}
+}
+
+// TestSaveFileAtomicPreservesOldCheckpoint: a failed save must leave the
+// previous checkpoint intact (the whole point of write-temp-fsync-rename).
+func TestSaveFileAtomicPreservesOldCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	orig := tinyModel(68)
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A save into a read-only directory fails after the temp create; the
+	// existing checkpoint must be untouched and no temp litter left behind.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := tinyModel(69).SaveFile(path); err == nil {
+		t.Skip("filesystem permits writes in read-only dir (running as root?)")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save corrupted the existing checkpoint")
+	}
+}
+
+// TestWriteFileAtomicCleansUpOnFailure checks that a write failing
+// mid-checkpoint (injected via fault.FailNthWriter) surfaces as an error,
+// produces no destination file, and leaves no temp litter.
+func TestWriteFileAtomicCleansUpOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	m := tinyModel(70)
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		return m.Save(&fault.FailNthWriter{W: w, N: 3})
+	})
+	if err == nil {
+		t.Fatal("injected write failure must surface")
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		t.Fatal("failed atomic write created the destination file")
+	}
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("temp litter left behind: %v", entries)
 	}
 }

@@ -37,6 +37,11 @@ func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
 	return n + int64(w2), err
 }
 
+// maxReadElems bounds the element count ReadFrom will allocate for
+// (1 GiB of float32). A corrupted dimension in a damaged checkpoint must
+// fail with a diagnostic error, not an out-of-memory crash.
+const maxReadElems = 1 << 28
+
 // ReadFrom deserialises a tensor previously written by WriteTo.
 func ReadFrom(r io.Reader) (*Tensor, error) {
 	var m [4]byte
@@ -65,6 +70,9 @@ func ReadFrom(r io.Reader) (*Tensor, error) {
 		}
 		shape[i] = int(d)
 		n *= int(d)
+		if n > maxReadElems {
+			return nil, fmt.Errorf("tensor: implausible element count %d (corrupt shape?)", n)
+		}
 	}
 	buf := make([]byte, 4*n)
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -1,0 +1,325 @@
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
+	"edgellm/internal/tensor"
+)
+
+// Resumable tuning loop. Loop drives StepFunc iterations and, every K
+// completed steps, writes a crash-safe snapshot of everything that
+// determines the remainder of the run: model weights, optimizer state,
+// trainer step counter, the loop's RNG state, and the loop position. A run
+// killed at any point resumes from its latest snapshot bit-identically —
+// the resumed loss curve and final weights match an uninterrupted run of
+// the same seed byte for byte.
+//
+// Snapshot container format:
+//
+//	magic "ELLMSNP1" | uint32 header length | JSON header |
+//	embedded model checkpoint (nn format v2, self-checksummed) |
+//	optimizer slot tensors in header order (tensor.WriteTo framing) |
+//	footer: "ELCF" | uint32 CRC32-IEEE over every preceding byte
+//
+// Snapshots are written atomically (nn.WriteFileAtomic), so the file on
+// disk is always a complete snapshot: either the previous one or the new
+// one, never a torn mix.
+var (
+	snapshotMagic  = [8]byte{'E', 'L', 'L', 'M', 'S', 'N', 'P', '1'}
+	snapshotFooter = [4]byte{'E', 'L', 'C', 'F'}
+)
+
+// snapshotHeader is the JSON header of the snapshot container.
+type snapshotHeader struct {
+	Version     int      `json:"version"`
+	Step        int      `json:"step"`
+	TrainerStep int      `json:"trainer_step"`
+	Optimizer   string   `json:"optimizer"`
+	OptStep     int      `json:"opt_step"`
+	RNGState    uint64   `json:"rng_state"`
+	SlotKeys    []string `json:"slot_keys"`
+}
+
+// StepFunc runs one training iteration: sample a batch, compute the loss,
+// call Trainer.Step. All randomness must come from rng (the loop snapshots
+// and restores it); any other source breaks resume determinism. Returning
+// an error stops the loop with state intact up to the last completed step.
+type StepFunc func(step int, rng *tensor.RNG) (loss float64, err error)
+
+// LoopConfig configures a resumable loop.
+type LoopConfig struct {
+	// SnapshotPath enables crash-safe snapshots when non-empty.
+	SnapshotPath string
+	// SnapshotEvery is the snapshot cadence in completed steps
+	// (default 25 when snapshots are enabled).
+	SnapshotEvery int
+	// Seed seeds the loop's savable RNG.
+	Seed int64
+}
+
+func (c LoopConfig) every() int {
+	if c.SnapshotEvery <= 0 {
+		return 25
+	}
+	return c.SnapshotEvery
+}
+
+// Loop is a resumable training loop over a model/trainer pair.
+type Loop struct {
+	Model   *nn.Model
+	Trainer *Trainer
+	// RNG is the loop's savable batch-sampling RNG, passed to every
+	// StepFunc call.
+	RNG *tensor.RNG
+	Cfg LoopConfig
+
+	step int
+}
+
+// NewLoop starts a fresh resumable loop at step 0.
+func NewLoop(m *nn.Model, tr *Trainer, cfg LoopConfig) *Loop {
+	return &Loop{Model: m, Trainer: tr, RNG: tensor.NewSavableRNG(cfg.Seed), Cfg: cfg}
+}
+
+// Step returns the number of completed loop steps.
+func (l *Loop) Step() int { return l.step }
+
+// Run advances the loop until `total` steps have completed, calling step
+// once per iteration and snapshotting every SnapshotEvery completed steps.
+// It returns the losses of the steps executed in this call. A StepFunc
+// error, a snapshot write error, or a divergence abort from the Trainer
+// (recovered from its panic) stops the loop with the error; completed
+// steps and the last snapshot survive for a later resume.
+func (l *Loop) Run(total int, step StepFunc) ([]float64, error) {
+	var losses []float64
+	for l.step < total {
+		loss, err := l.runStep(step)
+		if err != nil {
+			return losses, fmt.Errorf("train: step %d: %w", l.step, err)
+		}
+		losses = append(losses, loss)
+		l.step++
+		if l.Cfg.SnapshotPath != "" && l.step%l.Cfg.every() == 0 {
+			if err := l.Snapshot(); err != nil {
+				return losses, fmt.Errorf("train: snapshot at step %d: %w", l.step, err)
+			}
+		}
+	}
+	return losses, nil
+}
+
+// runStep executes one StepFunc call, converting a Trainer divergence
+// panic into an ordinary error so the loop degrades instead of crashing.
+func (l *Loop) runStep(step StepFunc) (loss float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var de *DivergenceError
+			if e, ok := r.(*DivergenceError); ok {
+				de = e
+			} else {
+				panic(r) // not ours — propagate
+			}
+			err = de
+		}
+	}()
+	return step(l.step, l.RNG)
+}
+
+// Snapshot writes the loop state to Cfg.SnapshotPath atomically and
+// records the write latency under obsv ("train.snapshot_ms").
+func (l *Loop) Snapshot() error {
+	start := time.Now()
+	if err := nn.WriteFileAtomic(l.Cfg.SnapshotPath, l.WriteSnapshot); err != nil {
+		return err
+	}
+	if obs := obsv.Global(); obs != nil {
+		obs.Observe("train.snapshot_ms", float64(time.Since(start))/float64(time.Millisecond))
+		obs.Add("train.snapshots", 1)
+	}
+	return nil
+}
+
+// WriteSnapshot serialises the loop state to w in the snapshot container
+// format.
+func (l *Loop) WriteSnapshot(w io.Writer) error {
+	rngState, ok := l.RNG.State()
+	if !ok {
+		return errors.New("train: loop RNG is not savable (use NewLoop)")
+	}
+	optStep, slots := l.Trainer.Opt.ExportState()
+	keys := make([]string, 0, len(slots))
+	for k := range slots {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hdr := snapshotHeader{
+		Version:     1,
+		Step:        l.step,
+		TrainerStep: l.Trainer.StepCount(),
+		Optimizer:   l.Trainer.Opt.Name(),
+		OptStep:     optStep,
+		RNGState:    rngState,
+		SlotKeys:    keys,
+	}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("train: marshal snapshot header: %w", err)
+	}
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	if _, err := cw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("train: write snapshot magic: %w", err)
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(hdrBytes))); err != nil {
+		return fmt.Errorf("train: write snapshot header length: %w", err)
+	}
+	if _, err := cw.Write(hdrBytes); err != nil {
+		return fmt.Errorf("train: write snapshot header: %w", err)
+	}
+	if err := l.Model.Save(cw); err != nil {
+		return fmt.Errorf("train: write snapshot model: %w", err)
+	}
+	for _, k := range keys {
+		if _, err := slots[k].WriteTo(cw); err != nil {
+			return fmt.Errorf("train: write optimizer slot %s: %w", k, err)
+		}
+	}
+	sum := cw.crc.Sum32()
+	if _, err := w.Write(snapshotFooter[:]); err != nil {
+		return fmt.Errorf("train: write snapshot footer: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
+		return fmt.Errorf("train: write snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// crcWriter forwards to w while folding every byte into a CRC32.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// crcReader forwards reads from r while folding every byte into a CRC32.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// ReadSnapshot reads a snapshot container from r and reconstructs a loop
+// bound to tr. The caller supplies a Trainer configured with the same
+// hyperparameters and optimizer type as the interrupted run; ReadSnapshot
+// restores the optimizer's state tensors, the trainer's step counter, the
+// model, and the RNG. The container's CRC footer is verified before any
+// state is installed, so a corrupt snapshot restores nothing.
+func ReadSnapshot(r io.Reader, tr *Trainer, cfg LoopConfig) (*Loop, error) {
+	cr := &crcReader{r: r, crc: crc32.NewIEEE()}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("train: read snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("train: not an edgellm snapshot (magic %q)", magic)
+	}
+	var hdrLen uint32
+	if err := binary.Read(cr, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, fmt.Errorf("train: read snapshot header length: %w", err)
+	}
+	if hdrLen > 1<<20 {
+		return nil, fmt.Errorf("train: implausible snapshot header length %d", hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(cr, hdrBytes); err != nil {
+		return nil, fmt.Errorf("train: read snapshot header: %w", err)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("train: parse snapshot header: %w", err)
+	}
+	if hdr.Version != 1 {
+		return nil, fmt.Errorf("train: unsupported snapshot version %d", hdr.Version)
+	}
+	if hdr.Optimizer != tr.Opt.Name() {
+		return nil, fmt.Errorf("train: snapshot was taken with optimizer %q, trainer has %q",
+			hdr.Optimizer, tr.Opt.Name())
+	}
+	m, err := nn.Load(cr)
+	if err != nil {
+		return nil, fmt.Errorf("train: read snapshot model: %w", err)
+	}
+	slots := make(map[string]*tensor.Tensor, len(hdr.SlotKeys))
+	for _, k := range hdr.SlotKeys {
+		t, err := tensor.ReadFrom(cr)
+		if err != nil {
+			return nil, fmt.Errorf("train: read optimizer slot %s: %w", k, err)
+		}
+		slots[k] = t
+	}
+	want := cr.crc.Sum32()
+	var footer [4]byte
+	if _, err := io.ReadFull(r, footer[:]); err != nil {
+		return nil, fmt.Errorf("train: snapshot truncated before footer: %w", err)
+	}
+	if footer != snapshotFooter {
+		return nil, fmt.Errorf("train: bad snapshot footer %q (truncated or corrupt)", footer)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("train: snapshot truncated inside checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("train: snapshot checksum mismatch (stored %08x, computed %08x): file is corrupt", sum, want)
+	}
+	// Only now, with integrity proven, mutate the trainer.
+	tr.Opt.ImportState(hdr.OptStep, slots)
+	tr.SetStepCount(hdr.TrainerStep)
+	return &Loop{
+		Model:   m,
+		Trainer: tr,
+		RNG:     tensor.RestoreRNG(hdr.RNGState),
+		Cfg:     cfg,
+		step:    hdr.Step,
+	}, nil
+}
+
+// Resume reconstructs a loop from the snapshot at cfg.SnapshotPath. found
+// is false (with a nil error) when no snapshot exists yet, letting callers
+// fall back to a fresh start.
+func Resume(tr *Trainer, cfg LoopConfig) (l *Loop, found bool, err error) {
+	f, err := os.Open(cfg.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("train: open snapshot: %w", err)
+	}
+	defer f.Close()
+	l, err = ReadSnapshot(bufio.NewReader(f), tr, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return l, true, nil
+}

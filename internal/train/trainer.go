@@ -1,6 +1,7 @@
 package train
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -30,6 +31,28 @@ func CosineSchedule(warmup, totalSteps int, floor float64) Schedule {
 	}
 }
 
+// DefaultMaxBadSteps is the consecutive non-finite-step budget NewTrainer
+// installs before declaring divergence.
+const DefaultMaxBadSteps = 5
+
+// DivergenceError reports a run that produced MaxBadSteps consecutive
+// non-finite losses or gradients. Trainer.Step throws it as a panic value
+// so existing call sites keep their signatures; the experiment runner's
+// per-task recovery and Loop.Run both convert it into an ordinary error.
+// It is deterministic, so the runner classifies it as non-retryable.
+type DivergenceError struct {
+	// Consecutive is the length of the bad-step streak.
+	Consecutive int
+	// LastLoss is the loss value of the final bad step.
+	LastLoss float64
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("train: diverged: %d consecutive non-finite steps (last loss %v)",
+		e.Consecutive, e.LastLoss)
+}
+
 // Trainer drives optimization steps: backward, global-norm clipping,
 // optimizer update, gradient reset.
 type Trainer struct {
@@ -40,37 +63,82 @@ type Trainer struct {
 	ClipNorm float64
 	// Sched defaults to a constant schedule.
 	Sched Schedule
+	// MaxBadSteps aborts the run (panic with *DivergenceError) after this
+	// many consecutive steps with a non-finite loss or gradient norm.
+	// Non-finite steps always skip the parameter update; 0 disables only
+	// the abort, never the skip.
+	MaxBadSteps int
 
 	step int
+	// badStreak counts consecutive skipped (non-finite) steps.
+	badStreak int
 }
 
 // NewTrainer wraps opt with base learning rate lr and clipping at clip.
+// The divergence guard is on by default (DefaultMaxBadSteps).
 func NewTrainer(opt Optimizer, lr float32, clip float64) *Trainer {
-	return &Trainer{Opt: opt, BaseLR: lr, ClipNorm: clip, Sched: ConstantSchedule()}
+	return &Trainer{Opt: opt, BaseLR: lr, ClipNorm: clip, Sched: ConstantSchedule(),
+		MaxBadSteps: DefaultMaxBadSteps}
 }
+
+// skipBadStep accounts one non-finite step: the update is skipped, the
+// event is counted via obsv, and once the streak reaches MaxBadSteps the
+// run is aborted with a *DivergenceError panic (recovered into an error by
+// the runner and by Loop.Run).
+func (t *Trainer) skipBadStep(lossVal float64) {
+	t.badStreak++
+	if obs := obsv.Global(); obs != nil {
+		obs.Add("train.nonfinite_steps", 1)
+		obs.SetGauge("train.bad_streak", float64(t.badStreak))
+	}
+	if t.MaxBadSteps > 0 && t.badStreak >= t.MaxBadSteps {
+		obsv.Add("train.divergence_aborts", 1)
+		panic(&DivergenceError{Consecutive: t.badStreak, LastLoss: lossVal})
+	}
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Step runs backward from loss, clips, updates m's parameters, clears the
 // gradients, and returns the loss value.
 //
+// Divergence guard: a non-finite loss skips the whole step (no backward,
+// no update), and a non-finite gradient norm — checked whenever the norm
+// is computed anyway, i.e. with clipping or observability on — skips the
+// update and clears the gradients. Either event counts toward the
+// consecutive bad-step streak that aborts the run at MaxBadSteps; any
+// finite step resets the streak.
+//
 // When the global obsv recorder is enabled, Step records its wall-clock
-// latency, the pre-clip global gradient norm, clip events, and the
-// effective learning rate. Disabled, the instrumentation costs a single
-// nil check.
+// latency, the pre-clip global gradient norm, clip events, skipped
+// non-finite steps, and the effective learning rate. Disabled, the
+// instrumentation costs a single nil check.
 func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
 	obs := obsv.Global()
 	var start time.Time
 	if obs != nil {
 		start = time.Now()
 	}
+	lossVal := float64(loss.Data.Data[0])
+	if !finite(lossVal) {
+		t.skipBadStep(lossVal)
+		return lossVal
+	}
 	loss.Backward()
 	params := m.Params()
 	var gradNorm float64
 	clipped := false
-	if t.ClipNorm > 0 {
-		gradNorm, clipped = clipGlobalNorm(params, t.ClipNorm)
-	} else if obs != nil {
+	if t.ClipNorm > 0 || obs != nil {
 		gradNorm = globalNorm(params)
+		if !finite(gradNorm) {
+			nn.ZeroGrads(m)
+			t.skipBadStep(lossVal)
+			return lossVal
+		}
+		clipped = clipToNorm(params, gradNorm, t.ClipNorm)
 	}
+	t.badStreak = 0
 	lr := t.BaseLR * float32(t.Sched(t.step))
 	t.Opt.Step(params, lr)
 	nn.ZeroGrads(m)
@@ -78,11 +146,12 @@ func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
 	if obs != nil {
 		t.record(obs, start, gradNorm, clipped, lr)
 	}
-	return float64(loss.Data.Data[0])
+	return lossVal
 }
 
 // ApplyGrads clips and applies already-accumulated gradients (e.g. from
-// CheckpointedStep, which runs its own backward pass) and clears them.
+// CheckpointedStep, which runs its own backward pass) and clears them. The
+// same non-finite-gradient guard as Step applies.
 func (t *Trainer) ApplyGrads(m nn.Module) {
 	obs := obsv.Global()
 	var start time.Time
@@ -92,11 +161,16 @@ func (t *Trainer) ApplyGrads(m nn.Module) {
 	params := m.Params()
 	var gradNorm float64
 	clipped := false
-	if t.ClipNorm > 0 {
-		gradNorm, clipped = clipGlobalNorm(params, t.ClipNorm)
-	} else if obs != nil {
+	if t.ClipNorm > 0 || obs != nil {
 		gradNorm = globalNorm(params)
+		if !finite(gradNorm) {
+			nn.ZeroGrads(m)
+			t.skipBadStep(gradNorm)
+			return
+		}
+		clipped = clipToNorm(params, gradNorm, t.ClipNorm)
 	}
+	t.badStreak = 0
 	lr := t.BaseLR * float32(t.Sched(t.step))
 	t.Opt.Step(params, lr)
 	nn.ZeroGrads(m)
@@ -120,12 +194,16 @@ func (t *Trainer) record(obs *obsv.Recorder, start time.Time, gradNorm float64, 
 // StepCount returns how many updates have been applied.
 func (t *Trainer) StepCount() int { return t.step }
 
-// clipGlobalNorm rescales all gradients so their joint L2 norm is ≤
-// maxNorm; it returns the pre-clip norm and whether clipping fired.
-func clipGlobalNorm(params []nn.NamedParam, maxNorm float64) (norm float64, clipped bool) {
-	norm = globalNorm(params)
-	if norm <= maxNorm || norm == 0 {
-		return norm, false
+// SetStepCount overrides the applied-update counter; snapshot resume uses
+// it so learning-rate schedules continue from the interrupted position.
+func (t *Trainer) SetStepCount(n int) { t.step = n }
+
+// clipToNorm rescales all gradients so their joint L2 norm is ≤ maxNorm
+// (no-op when maxNorm ≤ 0) and reports whether clipping fired. norm is the
+// pre-computed global gradient norm.
+func clipToNorm(params []nn.NamedParam, norm, maxNorm float64) bool {
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return false
 	}
 	scale := float32(maxNorm / norm)
 	for _, p := range params {
@@ -133,7 +211,7 @@ func clipGlobalNorm(params []nn.NamedParam, maxNorm float64) (norm float64, clip
 			p.Value.Grad.ScaleInPlace(scale)
 		}
 	}
-	return norm, true
+	return true
 }
 
 // globalNorm returns the joint L2 norm of all parameter gradients.
