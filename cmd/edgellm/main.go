@@ -7,12 +7,14 @@
 //	sensitivity  print the per-layer sensitivity profile of a fresh model
 //	train        adapt a model with the Edge-LLM pipeline, save a checkpoint
 //	generate     sample from a saved checkpoint with KV-cached decoding
+//	telemetry    summarise or diff JSONL metric files from -metrics runs
 //
 // Run `edgellm <subcommand> -h` for flags.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +49,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "telemetry":
+		err = cmdTelemetry(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -69,26 +73,42 @@ subcommands:
   schedule      hardware schedule search for one GEMM (-m -n -k -bits -sparsity)
   sensitivity   per-layer compression sensitivity profile
   train         adapt a model with the Edge-LLM pipeline and save a checkpoint
-  generate      sample tokens from a saved checkpoint (KV-cached decoding)`)
+  generate      sample tokens from a saved checkpoint (KV-cached decoding)
+  telemetry     summarise one JSONL metrics file or diff two (A-vs-B regression delta)`)
 }
 
-func cmdExperiments(args []string) error {
+func cmdExperiments(args []string) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	id := fs.String("t", "", "run only the experiment with this id (T1..T3, F1..F7, A1..A7)")
+	id := fs.String("t", "", "run only the experiment with this id (T1..T3, F1..F7, A1..A7); ids may also be given as positional arguments")
 	quick := fs.Bool("quick", false, "shrink trained experiments for a fast smoke run")
 	markdown := fs.Bool("markdown", false, "emit markdown tables")
 	parallel := fs.Int("parallel", 1, "max concurrent tasks in the experiment runner (1 = sequential; results are identical at any value)")
 	metrics := fs.String("metrics", "", "write JSONL observability events (manifest, spans, metrics, summary) to this file")
-	trace := fs.Bool("trace", false, "print one line per completed timing span to stderr")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto) to this path")
+	spanlog := fs.Bool("spanlog", false, "print one line per completed timing span to stderr")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve live telemetry on this host:port (/metrics Prometheus text, /debug/vars, /debug/pprof); use :0 for an ephemeral port")
 	faultSpec := fs.String("fault", "", `inject deterministic faults: comma-separated mode=ID pairs (panic=F5,flaky=T3,fail=A2) or "smoke"`)
 	retries := fs.Int("retries", 0, "retry budget per experiment for retryable failures (0 = default, negative disables)")
 	fs.Parse(args)
 
-	cleanup, err := setupObsv(*metrics, *trace, *parallel, *quick)
+	finish, err := setupObsv(obsvConfig{
+		MetricsPath: *metrics, TracePath: *trace, SpanLog: *spanlog,
+		TelemetryAddr: *telemetryAddr, Parallel: *parallel, Quick: *quick,
+	})
 	if err != nil {
 		return err
 	}
-	defer cleanup()
+	// Telemetry failures (a full disk truncating the JSONL or trace file)
+	// must not be dropped: the run's own error wins, but a clean run still
+	// exits non-zero when its telemetry was lost.
+	defer func() {
+		if ferr := finish(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "edgellm: telemetry error: %v\n", ferr)
+			if err == nil {
+				err = ferr
+			}
+		}
+	}()
 
 	sizes := core.DefaultSizes()
 	if *quick {
@@ -97,6 +117,9 @@ func cmdExperiments(args []string) error {
 	var only []string
 	if *id != "" {
 		only = []string{strings.ToUpper(*id)}
+	}
+	for _, a := range fs.Args() {
+		only = append(only, strings.ToUpper(a))
 	}
 
 	opts := core.SuiteOpts{
@@ -135,7 +158,7 @@ func cmdExperiments(args []string) error {
 		}
 		return fmt.Errorf("%d of %d experiments failed", len(failed), len(reports))
 	}
-	if *id == "" {
+	if len(only) == 0 {
 		fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
@@ -161,41 +184,115 @@ func firstErrLine(s string) string {
 	return s
 }
 
-// setupObsv installs a global obsv recorder when -metrics or -trace asks for
-// one and returns the teardown (summary emit, file close, uninstall). With
-// neither flag set it returns a no-op cleanup and observability stays off.
-func setupObsv(metricsPath string, trace bool, parallel int, quick bool) (func(), error) {
-	if metricsPath == "" && !trace {
-		return func() {}, nil
+// obsvConfig selects which telemetry sinks cmdExperiments turns on.
+type obsvConfig struct {
+	MetricsPath   string // JSONL event stream
+	TracePath     string // Chrome trace-event JSON
+	SpanLog       bool   // human span lines on stderr
+	TelemetryAddr string // live /metrics + /debug/pprof endpoint
+	Parallel      int
+	Quick         bool
+}
+
+func (c obsvConfig) enabled() bool {
+	return c.MetricsPath != "" || c.TracePath != "" || c.SpanLog || c.TelemetryAddr != ""
+}
+
+// setupObsv installs a global obsv recorder when any telemetry flag asks
+// for one and returns the teardown. The teardown emits the final summary,
+// uninstalls the recorder, closes every sink, and returns the first error
+// any sink retained (truncated JSONL, failed trace write, ...), so the
+// caller can exit non-zero instead of silently dropping telemetry. With no
+// telemetry flag set it returns a no-op teardown and observability stays
+// off.
+func setupObsv(c obsvConfig) (func() error, error) {
+	if !c.enabled() {
+		return func() error { return nil }, nil
 	}
 	rec := obsv.New()
-	var f *os.File
-	if metricsPath != "" {
-		var err error
-		f, err = os.Create(metricsPath)
+	var metricsFile, traceFile *os.File
+	var emitter *obsv.Emitter
+	var tw *obsv.TraceWriter
+	var server *obsv.Server
+	closeAll := func() {
+		if metricsFile != nil {
+			metricsFile.Close()
+		}
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		if server != nil {
+			server.Close()
+		}
+	}
+	if c.MetricsPath != "" {
+		f, err := os.Create(c.MetricsPath)
 		if err != nil {
 			return nil, fmt.Errorf("create metrics file: %w", err)
 		}
-		rec.SetEmitter(obsv.NewEmitter(f))
+		metricsFile = f
+		emitter = obsv.NewEmitter(f)
+		rec.SetEmitter(emitter)
 	}
-	if trace {
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("create trace file: %w", err)
+		}
+		traceFile = f
+		tw = obsv.NewTraceWriter(f)
+		rec.SetTraceWriter(tw)
+	}
+	if c.SpanLog {
 		rec.SetTrace(os.Stderr)
+	}
+	if c.TelemetryAddr != "" {
+		srv, err := obsv.StartServer(c.TelemetryAddr, rec)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("start telemetry server: %w", err)
+		}
+		server = srv
+		fmt.Fprintf(os.Stderr, "edgellm: telemetry listening on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
 	cfg := core.DefaultConfig()
 	man := obsv.NewManifest("edgellm experiments", cfg.Seed, struct {
 		Config   core.Config
 		Quick    bool
 		Parallel int
-	}{cfg, quick, parallel})
-	man.Parallel = parallel
+	}{cfg, c.Quick, c.Parallel})
+	man.Parallel = c.Parallel
 	rec.EmitManifest(man)
 	obsv.SetGlobal(rec)
-	return func() {
+	return func() error {
 		rec.EmitSummary()
 		obsv.SetGlobal(nil)
-		if f != nil {
-			f.Close()
+		var errs []error
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("trace writer: %w", err))
+			}
 		}
+		if emitter != nil {
+			if err := emitter.Err(); err != nil {
+				errs = append(errs, fmt.Errorf("metrics emitter: %w", err))
+			}
+		}
+		if metricsFile != nil {
+			if err := metricsFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("metrics file: %w", err))
+			}
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("trace file: %w", err))
+			}
+		}
+		if server != nil {
+			server.Close()
+		}
+		return errors.Join(errs...)
 	}, nil
 }
 

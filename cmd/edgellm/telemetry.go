@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"edgellm/internal/core"
+	"edgellm/internal/obsv"
+)
+
+// cmdTelemetry is the offline half of the telemetry subsystem: it reads
+// JSONL metric files produced by `experiments -metrics` and prints either
+// a run summary or an A-vs-B regression delta.
+//
+//	edgellm telemetry run.jsonl            summary of one run
+//	edgellm telemetry a.jsonl b.jsonl      delta table (B relative to A)
+//
+// An explicit leading "summary" or "diff" verb is also accepted.
+func cmdTelemetry(args []string) error {
+	fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
+	markdown := fs.Bool("markdown", false, "emit markdown tables")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: edgellm telemetry [summary|diff] <run.jsonl> [other.jsonl]
+
+With one file: print the run's manifest and aggregated metrics.
+With two: print a regression delta of the second run against the first.`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	files := fs.Args()
+	// Optional verb; it must agree with the number of files.
+	verb := ""
+	if len(files) > 0 && (files[0] == "summary" || files[0] == "diff") {
+		verb = files[0]
+		files = files[1:]
+	}
+	switch {
+	case len(files) == 1 && verb != "diff":
+		run, err := readRun(files[0])
+		if err != nil {
+			return err
+		}
+		printReport(summaryReport(files[0], run), *markdown)
+		return nil
+	case len(files) == 2 && verb != "summary":
+		a, err := readRun(files[0])
+		if err != nil {
+			return err
+		}
+		b, err := readRun(files[1])
+		if err != nil {
+			return err
+		}
+		printReport(diffReport(files[0], files[1], a, b), *markdown)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("telemetry: want one file (summary) or two (diff), got verb %q with %d file(s)", verb, len(files))
+	}
+}
+
+func printReport(r *core.Report, markdown bool) {
+	if markdown {
+		fmt.Println(r.Markdown())
+	} else {
+		fmt.Println(r.String())
+	}
+}
+
+// telemetryRun is one JSONL file reduced to its aggregates.
+type telemetryRun struct {
+	Manifest *obsv.Manifest
+	Summary  obsv.Summary
+	Events   int
+}
+
+// readRun parses a JSONL metrics file. If the stream contains summary
+// events (the normal case — EmitSummary writes one at teardown), the last
+// one wins; otherwise the span/metric events are replayed into a fresh
+// Recorder so even a truncated stream (crashed run) still summarises.
+func readRun(path string) (telemetryRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return telemetryRun{}, err
+	}
+	defer f.Close()
+
+	run := telemetryRun{}
+	rec := obsv.New()
+	var fromEvents bool
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev obsv.Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return telemetryRun{}, fmt.Errorf("%s:%d: invalid JSONL event: %w", path, line, err)
+		}
+		run.Events++
+		switch ev.Kind {
+		case obsv.KindManifest:
+			run.Manifest = ev.Manifest
+		case obsv.KindSummary:
+			if ev.Summary != nil {
+				run.Summary = *ev.Summary
+			}
+		case obsv.KindSpan:
+			rec.ObserveSpan(ev.Name, ev.DurMS, eventLabels(ev)...)
+			fromEvents = true
+		case obsv.KindMetric:
+			rec.Observe(ev.Name, ev.Value, eventLabels(ev)...)
+			fromEvents = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return telemetryRun{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if run.Events == 0 {
+		return telemetryRun{}, fmt.Errorf("%s: no telemetry events", path)
+	}
+	if len(run.Summary.Counters)+len(run.Summary.Dists)+len(run.Summary.Spans) == 0 && fromEvents {
+		run.Summary = rec.Snapshot()
+	}
+	return run, nil
+}
+
+func eventLabels(ev obsv.Event) []obsv.Label {
+	if len(ev.Labels) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(ev.Labels))
+	for k := range ev.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]obsv.Label, len(keys))
+	for i, k := range keys {
+		out[i] = obsv.L(k, ev.Labels[k])
+	}
+	return out
+}
+
+// summaryReport renders one run's aggregates as a report table.
+func summaryReport(path string, run telemetryRun) *core.Report {
+	r := &core.Report{
+		ID:     "TELEMETRY",
+		Title:  "Run summary: " + path,
+		Header: []string{"Metric", "Kind", "Count", "Value / mean", "p50", "p95", "p99"},
+	}
+	if m := run.Manifest; m != nil {
+		r.Notes = fmt.Sprintf("tool %q, seed %d, go %s, config %s, started %s",
+			m.Tool, m.Seed, m.GoVersion, m.ConfigHash, m.Start.Format("2006-01-02T15:04:05Z07:00"))
+	}
+	for _, key := range sortedKeys(run.Summary.Counters) {
+		r.AddRow(key, "counter", fmt.Sprintf("%d", run.Summary.Counters[key]), "", "", "", "")
+	}
+	for _, key := range sortedKeys(run.Summary.Gauges) {
+		r.AddRow(key, "gauge", "", fmtVal(run.Summary.Gauges[key]), "", "", "")
+	}
+	for _, key := range sortedKeys(run.Summary.Dists) {
+		d := run.Summary.Dists[key]
+		r.AddRow(key, "dist", fmt.Sprintf("%d", d.Count), fmtVal(d.Mean()),
+			fmtVal(d.P50), fmtVal(d.P95), fmtVal(d.P99))
+	}
+	for _, key := range sortedKeys(run.Summary.Spans) {
+		s := run.Summary.Spans[key]
+		mean := 0.0
+		if s.Count > 0 {
+			mean = s.TotalMS / float64(s.Count)
+		}
+		r.AddRow(key, "span ms", fmt.Sprintf("%d", s.Count), fmtVal(mean),
+			fmtVal(s.P50MS), fmtVal(s.P95MS), fmtVal(s.P99MS))
+	}
+	return r
+}
+
+// diffReport renders run B against baseline A: every counter delta and
+// every shared dist/span mean with its relative change. Step latency,
+// gradient norms, and suite.* failure counters are exactly the series this
+// surfaces for regression hunting.
+func diffReport(pathA, pathB string, a, b telemetryRun) *core.Report {
+	r := &core.Report{
+		ID:     "TELEMETRY-DIFF",
+		Title:  fmt.Sprintf("Telemetry delta: %s → %s", pathA, pathB),
+		Header: []string{"Metric", "Kind", "A", "B", "Δ", "Δ%"},
+		Notes:  "Δ% is B relative to A; counters compare totals, dists and spans compare means",
+	}
+	for _, key := range unionKeys(a.Summary.Counters, b.Summary.Counters) {
+		av, bv := float64(a.Summary.Counters[key]), float64(b.Summary.Counters[key])
+		addDelta(r, key, "counter", av, bv)
+	}
+	for _, key := range unionKeys(a.Summary.Gauges, b.Summary.Gauges) {
+		addDelta(r, key, "gauge", a.Summary.Gauges[key], b.Summary.Gauges[key])
+	}
+	for _, key := range unionKeys(a.Summary.Dists, b.Summary.Dists) {
+		addDelta(r, key, "dist mean", a.Summary.Dists[key].Mean(), b.Summary.Dists[key].Mean())
+	}
+	for _, key := range unionKeys(a.Summary.Spans, b.Summary.Spans) {
+		sa, sb := a.Summary.Spans[key], b.Summary.Spans[key]
+		addDelta(r, key, "span mean ms", spanMean(sa), spanMean(sb))
+	}
+	return r
+}
+
+func spanMean(s obsv.SpanStat) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalMS / float64(s.Count)
+}
+
+func addDelta(r *core.Report, key, kind string, a, b float64) {
+	delta := b - a
+	rel := "n/a"
+	if a != 0 {
+		rel = fmt.Sprintf("%+.1f%%", 100*delta/a)
+	}
+	r.AddRow(key, kind, fmtVal(a), fmtVal(b), fmtSigned(delta), rel)
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func fmtSigned(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	if math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3 {
+		return fmt.Sprintf("%+.3g", v)
+	}
+	return fmt.Sprintf("%+.3f", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unionKeys[V any](a, b map[string]V) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	return sortedKeys(set)
+}

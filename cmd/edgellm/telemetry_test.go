@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgellm/internal/obsv"
+)
+
+// writeRunJSONL produces a small but realistic metrics file via the real
+// Emitter, so the telemetry reader is tested against the actual wire format.
+func writeRunJSONL(t *testing.T, name string, stepMS float64, failures int64, withSummary bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obsv.New()
+	rec.SetEmitter(obsv.NewEmitter(f))
+	rec.EmitManifest(obsv.Manifest{Tool: "edgellm-test", Seed: 42, GoVersion: "go-test"})
+	for i := 0; i < 10; i++ {
+		rec.Observe("train.step_ms", stepMS)
+		rec.Observe("adapt.block_grad_norm", 0.5, obsv.L("layer", "0"))
+	}
+	rec.Add("suite.failures", failures)
+	rec.Add("train.steps", 10)
+	rec.SetGauge("luc.avg_effective_bits", 4.5)
+	sp := rec.StartSpan("pipeline.tune", obsv.L("experiment", "T1"))
+	sp.End()
+	if withSummary {
+		rec.EmitSummary()
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTelemetrySummary(t *testing.T) {
+	path := writeRunJSONL(t, "run.jsonl", 12.5, 2, true)
+	run, err := readRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Manifest == nil || run.Manifest.Tool != "edgellm-test" {
+		t.Fatalf("manifest not parsed: %+v", run.Manifest)
+	}
+	if got := run.Summary.Counters["suite.failures"]; got != 2 {
+		t.Fatalf("suite.failures = %d, want 2", got)
+	}
+	out := summaryReport(path, run).String()
+	for _, want := range []string{
+		"train.step_ms", "suite.failures", "adapt.block_grad_norm{layer=0}",
+		"luc.avg_effective_bits", "pipeline.tune{experiment=T1}", "seed 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTelemetryReplayWithoutSummary(t *testing.T) {
+	// A crashed run never writes its summary event; the reader must
+	// rebuild aggregates from the raw metric/span events.
+	path := writeRunJSONL(t, "crashed.jsonl", 9.0, 0, false)
+	run, err := readRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := run.Summary.Dists["train.step_ms"]
+	if !ok || d.Count != 10 {
+		t.Fatalf("replayed dist = %+v, ok=%v; want count 10", d, ok)
+	}
+	if s, ok := run.Summary.Spans["pipeline.tune{experiment=T1}"]; !ok || s.Count != 1 {
+		t.Fatalf("replayed span = %+v, ok=%v; want count 1", s, ok)
+	}
+}
+
+func TestTelemetryDiff(t *testing.T) {
+	a := writeRunJSONL(t, "a.jsonl", 10.0, 1, true)
+	b := writeRunJSONL(t, "b.jsonl", 20.0, 3, true)
+	ra, err := readRun(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := readRun(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := diffReport(a, b, ra, rb)
+	if len(rep.Rows) == 0 {
+		t.Fatal("diff report is empty")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "suite.failures") || !strings.Contains(out, "+200.0%") {
+		t.Errorf("diff missing suite.failures +200%% row:\n%s", out)
+	}
+	if !strings.Contains(out, "train.step_ms") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("diff missing train.step_ms +100%% row:\n%s", out)
+	}
+}
+
+func TestCmdTelemetryEndToEnd(t *testing.T) {
+	a := writeRunJSONL(t, "a.jsonl", 10.0, 1, true)
+	b := writeRunJSONL(t, "b.jsonl", 20.0, 3, true)
+	if err := cmdTelemetry([]string{"summary", a}); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if err := cmdTelemetry([]string{"diff", a, b}); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if err := cmdTelemetry([]string{a, b}); err != nil {
+		t.Fatalf("implicit diff: %v", err)
+	}
+	if err := cmdTelemetry([]string{"-markdown", a}); err != nil {
+		t.Fatalf("markdown summary: %v", err)
+	}
+	if err := cmdTelemetry([]string{"summary", a, b}); err == nil {
+		t.Fatal("summary with two files should error")
+	}
+	if err := cmdTelemetry([]string{filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestReadRunRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"kind\":\"metric\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRun(path); err == nil || !strings.Contains(err.Error(), "bad.jsonl:2") {
+		t.Fatalf("want line-numbered parse error, got %v", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRun(empty); err == nil {
+		t.Fatal("empty file should error")
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,11 +27,12 @@ func main() {
 		name string
 		f    func() core.MethodResult
 	}
+	ctx := context.Background()
 	runs := []run{
-		{"Vanilla full fine-tuning", func() core.MethodResult { return core.RunVanillaFT(cfg, task, opts) }},
-		{"LoRA (rank 4)", func() core.MethodResult { return core.RunLoRA(cfg, task, opts, 4) }},
-		{"Layer-freeze (top-2)", func() core.MethodResult { return core.RunLayerFreeze(cfg, task, opts, 2) }},
-		{"Edge-LLM (LUC + window-2 + voting)", func() core.MethodResult { return core.RunEdgeLLM(cfg, task, opts) }},
+		{"Vanilla full fine-tuning", func() core.MethodResult { return core.RunVanillaFT(ctx, cfg, task, opts) }},
+		{"LoRA (rank 4)", func() core.MethodResult { return core.RunLoRA(ctx, cfg, task, opts, 4) }},
+		{"Layer-freeze (top-2)", func() core.MethodResult { return core.RunLayerFreeze(ctx, cfg, task, opts, 2) }},
+		{"Edge-LLM (LUC + window-2 + voting)", func() core.MethodResult { return core.RunEdgeLLM(ctx, cfg, task, opts) }},
 	}
 
 	var vanillaIter float64

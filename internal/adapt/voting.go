@@ -3,6 +3,7 @@ package adapt
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/nn"
@@ -109,6 +110,14 @@ func (v *Voter) Calibrate(m *nn.Model, batches [][][]int, targets [][]int, tempe
 	for i := range v.Weights {
 		v.Weights[i] /= sum
 	}
+	if obs := obsv.Global(); obs != nil {
+		obs.SetGauge("adapt.calib_temperature", temperature)
+		for i, e := range v.Exits {
+			head := obsv.L("head", strconv.Itoa(e))
+			obs.SetGauge("adapt.head_weight", v.Weights[i], head)
+			obs.SetGauge("adapt.head_calib_loss", losses[i], head)
+		}
+	}
 }
 
 // Logits returns the voter's combined prediction for a batch as
@@ -157,7 +166,41 @@ func (v *Voter) Logits(m *nn.Model, batch [][]int) *ag.Value {
 			}
 		}
 	}
+	if obs := obsv.Global(); obs != nil {
+		obs.Observe("adapt.vote_agreement", agreementRate(logps, out))
+	}
 	return ag.Const(out)
+}
+
+// agreementRate measures how often an individual head's argmax matches the
+// voted argmax, averaged over heads and rows — 1.0 means the ensemble is
+// unanimous, values near 1/len(heads) mean the vote is doing real work.
+// Only computed when observability is enabled (it rescans every row).
+func agreementRate(logps []*tensor.Tensor, voted *tensor.Tensor) float64 {
+	rows := voted.Rows()
+	if rows == 0 || len(logps) == 0 {
+		return 0
+	}
+	agree := 0
+	for r := 0; r < rows; r++ {
+		want := argmaxRow(voted.Row(r))
+		for _, lp := range logps {
+			if argmaxRow(lp.Row(r)) == want {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(rows*len(logps))
+}
+
+func argmaxRow(row []float32) int {
+	best := 0
+	for j, v := range row[1:] {
+		if v > row[best] {
+			best = j + 1
+		}
+	}
+	return best
 }
 
 // logSoftmaxRows computes a numerically stable row-wise log-softmax.

@@ -15,6 +15,7 @@ package adapt
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/nn"
@@ -86,6 +87,13 @@ func (c TunerConfig) Validate(layers int) error {
 type Tuner struct {
 	Model *nn.Model
 	Cfg   TunerConfig
+
+	// Trace, when set, parents the per-iteration telemetry spans
+	// (adapt.step → adapt.forward / adapt.update) so tuning nests under
+	// the owning pipeline stage in the trace viewer. The zero value is
+	// fine: spans then root at the global recorder, or stay inert when
+	// observability is disabled.
+	Trace obsv.Span
 
 	iter int
 	// visitPlan caches the deterministic window-top sequence for the
@@ -222,6 +230,12 @@ func (w windowModule) Params() []nn.NamedParam {
 // window-top exit head (plus the final head when the window reaches the
 // top of the stack), and applies the optimizer. Returns the loss and the
 // window used.
+//
+// With observability enabled, each iteration emits an adapt.step span
+// with adapt.forward / adapt.update children, the backprop depth and
+// estimated peak activation bytes of the window (the paper's two memory
+// levers), and per-block gradient norms (labeled layer=<i>) captured via
+// the trainer's GradHook while gradients are live.
 func (t *Tuner) Step(tr *train.Trainer, inputs [][]int, targets []int) (loss float64, lo, hi int) {
 	lo, hi = t.Window(t.iter)
 	t.iter++
@@ -238,19 +252,59 @@ func (t *Tuner) Step(tr *train.Trainer, inputs [][]int, targets []int) (loss flo
 		nn.SetTrainable(m.LMHead, true)
 	}
 
+	obs := obsv.Global()
+	var step obsv.Span
+	if obs != nil {
+		step = t.Trace.Child("adapt.step")
+		tr.GradHook = func([]nn.NamedParam) { t.recordBlockGrads(obs, lo, hi) }
+		defer func() { tr.GradHook = nil }()
+	}
+
+	fwd := step.Child("adapt.forward")
 	hidden := m.HiddenAt(inputs, hi+1)
 	ce := ag.CrossEntropy(m.Exits[hi].Forward(hidden), targets, -1)
 	if last {
 		ceFinal := ag.CrossEntropy(m.LMHead.Forward(m.Norm.Forward(hidden)), targets, -1)
 		ce = ag.Scale(ag.Add(ce, ceFinal), 0.5)
 	}
+	fwd.End()
+
+	upd := step.Child("adapt.update")
 	loss = tr.Step(windowModule{model: m, lo: lo, hi: hi, withFinal: last}, ce)
-	if obs := obsv.Global(); obs != nil {
+	upd.End()
+
+	if obs != nil {
+		depth := hi - lo + 1
 		obs.Add("adapt.tune_steps", 1)
 		obs.SetGauge("adapt.window_lo", float64(lo))
 		obs.SetGauge("adapt.window_hi", float64(hi))
+		obs.Observe("adapt.backprop_depth", float64(depth))
+		if len(inputs) > 0 && len(inputs[0]) > 0 {
+			// Peak activation memory ≈ backprop depth × one block's live
+			// activations: layers below the window run tape-free.
+			perBlock := train.BlockActivationBytes(m.Cfg, len(inputs), len(inputs[0]))
+			obs.SetGauge("adapt.peak_activation_bytes", float64(int64(depth)*perBlock))
+		}
+		step.EndWith(map[string]float64{"loss": loss, "lo": float64(lo), "hi": float64(hi)})
 	}
 	return loss, lo, hi
+}
+
+// recordBlockGrads publishes the L2 gradient norm of every block in the
+// active window as a layer-labeled gauge. It runs inside the trainer's
+// GradHook — after clipping, before the optimizer consumes the gradients.
+func (t *Tuner) recordBlockGrads(obs *obsv.Recorder, lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		var ss float64
+		for _, p := range t.Model.Blocks[i].Params() {
+			if p.Value.Grad == nil {
+				continue
+			}
+			n := p.Value.Grad.Norm2()
+			ss += n * n
+		}
+		obs.SetGauge("adapt.block_grad_norm", math.Sqrt(ss), obsv.L("layer", strconv.Itoa(i)))
+	}
 }
 
 // Iterations returns how many Step calls have been made.

@@ -138,12 +138,13 @@ func TestMethodRunnersProduceSaneResults(t *testing.T) {
 	task := quickTask()
 	opts := RunOpts{Iters: 25, MCQIters: 15, EvalBatches: 2}
 
-	vanilla := RunVanillaFT(cfg, task, opts)
-	ckpt := RunGradCheckpoint(cfg, task, opts, 2)
-	lora := RunLoRA(cfg, task, opts, 2)
-	lst := RunLST(cfg, task, opts, 2)
-	freeze := RunLayerFreeze(cfg, task, opts, 1)
-	edge := RunEdgeLLM(cfg, task, opts)
+	ctx := context.Background()
+	vanilla := RunVanillaFT(ctx, cfg, task, opts)
+	ckpt := RunGradCheckpoint(ctx, cfg, task, opts, 2)
+	lora := RunLoRA(ctx, cfg, task, opts, 2)
+	lst := RunLST(ctx, cfg, task, opts, 2)
+	freeze := RunLayerFreeze(ctx, cfg, task, opts, 1)
+	edge := RunEdgeLLM(ctx, cfg, task, opts)
 
 	for _, m := range []MethodResult{vanilla, ckpt, lora, lst, freeze, edge} {
 		if math.IsNaN(m.PPL) || m.PPL <= 1 {

@@ -9,6 +9,7 @@ import (
 	"edgellm/internal/hwsim"
 	"edgellm/internal/luc"
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 	"edgellm/internal/tensor"
 	"edgellm/internal/train"
 )
@@ -33,16 +34,16 @@ func ExperimentT1(ctx context.Context, opts RunOpts) *Report {
 	// The base snapshot is built once above; each method then constructs its
 	// own model, trainer, and RNGs from fixed seeds, so the runs are
 	// independent and can execute on the worker pool in any order.
-	runs := []func() MethodResult{
-		func() MethodResult { return RunVanillaFT(cfg, task, opts) },
-		func() MethodResult { return RunGradCheckpoint(cfg, task, opts, 3) },
-		func() MethodResult { return RunLoRA(cfg, task, opts, 4) },
-		func() MethodResult { return RunLST(cfg, task, opts, 4) },
-		func() MethodResult { return RunLayerFreeze(cfg, task, opts, cfg.WindowSize) },
-		func() MethodResult { return RunEdgeLLM(cfg, task, opts) },
+	runs := []func(context.Context) MethodResult{
+		func(ctx context.Context) MethodResult { return RunVanillaFT(ctx, cfg, task, opts) },
+		func(ctx context.Context) MethodResult { return RunGradCheckpoint(ctx, cfg, task, opts, 3) },
+		func(ctx context.Context) MethodResult { return RunLoRA(ctx, cfg, task, opts, 4) },
+		func(ctx context.Context) MethodResult { return RunLST(ctx, cfg, task, opts, 4) },
+		func(ctx context.Context) MethodResult { return RunLayerFreeze(ctx, cfg, task, opts, cfg.WindowSize) },
+		func(ctx context.Context) MethodResult { return RunEdgeLLM(ctx, cfg, task, opts) },
 	}
 	methods := make([]MethodResult, len(runs))
-	parallelFor(len(runs), func(i int) { methods[i] = runs[i]() })
+	parallelFor(len(runs), func(i int) { methods[i] = runs[i](ctx) })
 	vanillaIter := methods[0].IterCost.TotalSec
 	vanillaMem := methods[0].Memory.Total()
 
@@ -129,9 +130,14 @@ func ExperimentT2(ctx context.Context, tuneIters, evalBatches int) *Report {
 	rows := make([][]string, len(cases))
 	parallelFor(len(cases), func(ci int) {
 		pc := cases[ci]
+		// Grid points run concurrently: each takes its own trace track
+		// under the experiment span.
+		grid := obsv.SpanFromContext(ctx).ChildTrack("grid_point",
+			obsv.L("policy", pc.name), obsv.L("budget", fmt.Sprintf("%.2g", pc.budget)))
+		defer grid.End()
 		m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 		restoreParams(m, snapshot)
-		sens := luc.Probe(m, cands, luc.ProbeOptions{Metric: luc.MetricOutputKL, Calib: calibFlat})
+		sens := luc.Probe(m, cands, luc.ProbeOptions{Metric: luc.MetricOutputKL, Calib: calibFlat, Trace: grid})
 		policy := pc.make(sens)
 		info := luc.Apply(m, policy, cands)
 		post := evalSourcePPL(m)
@@ -141,6 +147,7 @@ func ExperimentT2(ctx context.Context, tuneIters, evalBatches int) *Report {
 		if err != nil {
 			panic(err)
 		}
+		tuner.Trace = grid
 		tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
 		rng := tensor.NewRNG(8)
 		for i := 0; i < tuneIters; i++ {
@@ -354,12 +361,15 @@ func ExperimentF2(ctx context.Context, iters, evalBatches int) *Report {
 	rows := make([][]string, len(windows))
 	parallelFor(len(windows), func(wi int) {
 		w := windows[wi]
+		grid := obsv.SpanFromContext(ctx).ChildTrack("grid_point", obsv.L("window", fmt.Sprint(w)))
+		defer grid.End()
 		c := cfg
 		c.WindowSize = w
 		p, err := New(c)
 		if err != nil {
 			panic(err)
 		}
+		p.Trace = grid
 		task.ApplyBase(p.Model)
 		calib, _ := task.Train.SequentialBatches(c.Batch, c.Seq, 2)
 		var calibFlat [][]int
@@ -403,7 +413,9 @@ func ExperimentF3(ctx context.Context, pretrainIters int) *Report {
 		calibFlat = append(calibFlat, b...)
 	}
 	cands := []luc.Candidate{{Bits: 8}, {Bits: 4}, {Bits: 2}, {Bits: 4, Sparsity: 0.5}}
-	sens := luc.Probe(m, cands, luc.ProbeOptions{Metric: luc.MetricOutputKL, Calib: calibFlat})
+	sens := luc.Probe(m, cands, luc.ProbeOptions{
+		Metric: luc.MetricOutputKL, Calib: calibFlat, Trace: obsv.SpanFromContext(ctx),
+	})
 
 	r := &Report{
 		ID:     "F3",

@@ -1,14 +1,24 @@
 package core
 
 import (
+	"context"
+
 	"edgellm/internal/adapt"
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/data"
 	"edgellm/internal/hwsim"
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 	"edgellm/internal/tensor"
 	"edgellm/internal/train"
 )
+
+// methodSpan opens the telemetry span for one method run, parented to the
+// span carried by ctx (the experiment or grid-point span). Methods fan
+// out concurrently, so each takes its own trace track.
+func methodSpan(ctx context.Context, name string) obsv.Span {
+	return obsv.SpanFromContext(ctx).ChildTrack("method", obsv.L("name", name))
+}
 
 // Task bundles the evaluation workloads shared by every tuning method,
 // mirroring the paper's protocol: a *pretraining* corpus the shared base
@@ -159,7 +169,8 @@ func evalLM(task Task, cfg Config, opts RunOpts, forward func([][]int) *ag.Value
 
 // RunVanillaFT is the upper-bound baseline: full fine-tuning of the
 // uncompressed model, loss at the final head, full-depth backprop.
-func RunVanillaFT(cfg Config, task Task, opts RunOpts) MethodResult {
+func RunVanillaFT(ctx context.Context, cfg Config, task Task, opts RunOpts) MethodResult {
+	defer methodSpan(ctx, "vanilla-ft").End()
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(true)
@@ -185,7 +196,8 @@ func RunVanillaFT(cfg Config, task Task, opts RunOpts) MethodResult {
 // RunGradCheckpoint is the activation-checkpointing baseline: full
 // fine-tuning with segment recompute, which cuts activation memory to one
 // segment's tape at the cost of a second forward pass per iteration.
-func RunGradCheckpoint(cfg Config, task Task, opts RunOpts, segments int) MethodResult {
+func RunGradCheckpoint(ctx context.Context, cfg Config, task Task, opts RunOpts, segments int) MethodResult {
+	defer methodSpan(ctx, "grad-ckpt").End()
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(true)
@@ -228,7 +240,8 @@ func RunGradCheckpoint(cfg Config, task Task, opts RunOpts, segments int) Method
 
 // RunLoRA is the PEFT baseline: frozen fp16 backbone with rank-r adapters
 // on every block linear, full-depth backprop through frozen weights.
-func RunLoRA(cfg Config, task Task, opts RunOpts, rank int) MethodResult {
+func RunLoRA(ctx context.Context, cfg Config, task Task, opts RunOpts, rank int) MethodResult {
+	defer methodSpan(ctx, "lora").End()
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(false)
@@ -283,7 +296,8 @@ func loraIterationCost(cfg Config) hwsim.Cost {
 // narrow trainable side network (see adapt.LST). Backprop never enters the
 // backbone, so activation memory is the side network's own tape plus the
 // (graph-free) backbone forward.
-func RunLST(cfg Config, task Task, opts RunOpts, reduction int) MethodResult {
+func RunLST(ctx context.Context, cfg Config, task Task, opts RunOpts, reduction int) MethodResult {
+	defer methodSpan(ctx, "lst").End()
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(false)
@@ -344,7 +358,8 @@ func RunLST(cfg Config, task Task, opts RunOpts, reduction int) MethodResult {
 // RunLayerFreeze is the "last-k" baseline: only the top k blocks, final
 // norm, and head are tuned; backprop naturally stops at the frozen
 // boundary.
-func RunLayerFreeze(cfg Config, task Task, opts RunOpts, k int) MethodResult {
+func RunLayerFreeze(ctx context.Context, cfg Config, task Task, opts RunOpts, k int) MethodResult {
+	defer methodSpan(ctx, "layer-freeze").End()
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	mod := freezeTopK(m, k)
@@ -391,11 +406,14 @@ func freezeTopK(m *nn.Model, k int) paramModule {
 
 // RunEdgeLLM runs the full Edge-LLM pipeline: LUC compression, adaptive
 // layer tuning, calibrated voting inference.
-func RunEdgeLLM(cfg Config, task Task, opts RunOpts) MethodResult {
+func RunEdgeLLM(ctx context.Context, cfg Config, task Task, opts RunOpts) MethodResult {
+	sp := methodSpan(ctx, "edge-llm")
+	defer sp.End()
 	p, err := New(cfg)
 	if err != nil {
 		panic(err)
 	}
+	p.Trace = sp
 	task.ApplyBase(p.Model)
 	calib, _ := task.Train.SequentialBatches(cfg.Batch, cfg.Seq, 2)
 	var calibFlat [][]int
@@ -416,6 +434,7 @@ func RunEdgeLLM(cfg Config, task Task, opts RunOpts) MethodResult {
 		if err != nil {
 			panic(err)
 		}
+		pq.Trace = sp
 		task.ApplyBase(pq.Model)
 		if err := pq.Compress(calibFlat); err != nil {
 			panic(err)

@@ -102,6 +102,12 @@ type Pipeline struct {
 	Voter   *adapt.Voter
 	Trainer *train.Trainer
 
+	// Trace, when set, parents every pipeline-stage span (compress, tune,
+	// vote) so one experiment's whole call tree nests under a single span
+	// in the Chrome trace. Zero value roots the stages at the global
+	// recorder; inert when observability is disabled.
+	Trace obsv.Span
+
 	rng        *tensor.RNG
 	candidates []luc.Candidate
 	compressed bool
@@ -140,9 +146,9 @@ func (p *Pipeline) Compress(calib [][]int) error {
 	if p.compressed {
 		return fmt.Errorf("core: model already compressed")
 	}
-	sp := obsv.StartSpan("pipeline.compress")
+	sp := p.Trace.Child("pipeline.compress")
 	defer func() { sp.EndWith(map[string]float64{"avg_bits": p.Info.AvgEffectiveBits}) }()
-	opts := luc.ProbeOptions{Metric: p.Cfg.ProbeMetric, Calib: calib}
+	opts := luc.ProbeOptions{Metric: p.Cfg.ProbeMetric, Calib: calib, Trace: sp}
 	p.Sens = luc.Probe(p.Model, p.candidates, opts)
 	if p.Cfg.UseDP {
 		p.Policy = luc.SearchDP(p.Sens, p.candidates, p.Cfg.BudgetBits)
@@ -244,13 +250,18 @@ func (p *Pipeline) tuneSpan(name string, iters int) tuneSpan {
 	if !obsv.Enabled() {
 		return tuneSpan{}
 	}
-	return tuneSpan{
-		sp:     obsv.StartSpan(name),
+	t := tuneSpan{
+		sp:     p.Trace.Child(name),
 		iters:  iters,
 		tokens: float64(iters) * float64(p.Cfg.Batch) * float64(p.Cfg.Seq),
 		start:  time.Now(),
 		live:   true,
 	}
+	// Per-iteration adapt.step spans nest under this tuning stage.
+	if p.Tuner != nil {
+		p.Tuner.Trace = t.sp
+	}
+	return t
 }
 
 func (t tuneSpan) end() {
@@ -271,7 +282,7 @@ func (t tuneSpan) end() {
 // FinishTuning builds and calibrates the voter over the exits the tuner
 // visited (plus the final head) using held-out calibration batches.
 func (p *Pipeline) FinishTuning(calibBatches [][][]int, calibTargets [][]int) {
-	sp := obsv.StartSpan("pipeline.vote")
+	sp := p.Trace.Child("pipeline.vote")
 	defer sp.EndWith(map[string]float64{"exits": float64(len(p.Tuner.TunedExits()) + 1)})
 	exits := append(p.Tuner.TunedExits(), adapt.FinalHead(p.Model))
 	p.Voter = adapt.NewVoter(exits, p.Cfg.VoteMode)

@@ -179,6 +179,9 @@ func RunAll(ctx context.Context, opts SuiteOpts) ([]*Report, error) {
 
 	suite := obsv.StartSpan("suite.run", obsv.L("parallel", fmt.Sprint(opts.Parallel)))
 	defer suite.EndWith(map[string]float64{"experiments": float64(len(selected))})
+	// Experiment spans hang off the suite span through the context, so the
+	// whole fan-out renders as one tree in the trace viewer.
+	ctx = obsv.ContextWithSpan(ctx, suite)
 
 	reports := make([]*Report, len(selected))
 	parallelFor(len(selected), func(i int) {
@@ -238,14 +241,17 @@ func runAttempt(ctx context.Context, e Experiment, sizes Sizes, opts SuiteOpts, 
 			}
 		}
 	}()
-	sp := obsv.StartSpan("experiment", obsv.L("id", e.ID), obsv.L("attempt", fmt.Sprint(attempt)))
+	// Experiments run concurrently, so each gets its own trace track
+	// (complete events on one track must not overlap in time).
+	sp := obsv.SpanFromContext(ctx).ChildTrack("experiment",
+		obsv.L("id", e.ID), obsv.L("attempt", fmt.Sprint(attempt)))
 	defer sp.End()
 	if opts.Inject != nil {
 		if err := opts.Inject(e.ID, attempt); err != nil {
 			return nil, err
 		}
 	}
-	rep = e.Run(ctx, sizes)
+	rep = e.Run(obsv.ContextWithSpan(ctx, sp), sizes)
 	if rep == nil {
 		return nil, fmt.Errorf("core: experiment %s returned no report", e.ID)
 	}

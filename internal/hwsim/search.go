@@ -52,7 +52,16 @@ func SearchExhaustive(d Device, g GEMM) (Schedule, Cost) {
 			best, bestCost = s, c
 		}
 	}
+	observeUtil(bestCost)
 	return best, bestCost
+}
+
+// observeUtil records the achieved compute utilization (ideal / modeled
+// time) of a search winner, so schedule quality is trackable across a run.
+func observeUtil(c Cost) {
+	if c.TotalSec > 0 {
+		obsv.Observe("hwsim.best_util", c.IdealSec/c.TotalSec)
+	}
 }
 
 // SearchAnnealed runs simulated annealing over the same space — the cheap
@@ -85,6 +94,7 @@ func SearchAnnealed(d Device, g GEMM, seed int64, steps int) (Schedule, Cost) {
 		temp *= 0.98
 	}
 	obsv.Add("hwsim.schedule_evals", evals)
+	observeUtil(bestCost)
 	return best, bestCost
 }
 

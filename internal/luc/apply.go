@@ -2,8 +2,10 @@ package luc
 
 import (
 	"fmt"
+	"strconv"
 
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 	"edgellm/internal/prune"
 )
 
@@ -48,10 +50,16 @@ func (ci CompressionInfo) BlockSparsity() []float64 {
 // candidate's sparsity and then fake-quantized at its bit-width
 // (prune-then-quantize; symmetric quantization preserves the zeros).
 // Embeddings, norms, and heads are left untouched.
+//
+// With observability enabled, the chosen per-layer bit-width and sparsity
+// are published as layer-labeled gauges (luc.layer_bits, luc.layer_sparsity)
+// together with the achieved luc.avg_effective_bits, so the policy that
+// LUC actually applied is visible in /metrics and the trace viewer.
 func Apply(m *nn.Model, p Policy, cands []Candidate) CompressionInfo {
 	if len(p.Choice) != len(m.Blocks) {
 		panic(fmt.Sprintf("luc: policy covers %d layers, model has %d", len(p.Choice), len(m.Blocks)))
 	}
+	obs := obsv.Global()
 	info := CompressionInfo{AvgEffectiveBits: p.AvgEffectiveBits(cands)}
 	for i, block := range m.Blocks {
 		c := cands[p.Choice[i]]
@@ -60,6 +68,12 @@ func Apply(m *nn.Model, p Policy, cands []Candidate) CompressionInfo {
 			li.Masks = append(li.Masks, compressTensor(w, c))
 		}
 		info.Layers = append(info.Layers, li)
+		if obs != nil {
+			layer := obsv.L("layer", strconv.Itoa(i))
+			obs.SetGauge("luc.layer_bits", float64(c.Bits), layer)
+			obs.SetGauge("luc.layer_sparsity", c.Sparsity, layer)
+		}
 	}
+	obs.SetGauge("luc.avg_effective_bits", info.AvgEffectiveBits)
 	return info
 }

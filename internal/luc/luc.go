@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
 	"edgellm/internal/prune"
 	"edgellm/internal/quant"
 	"edgellm/internal/tensor"
@@ -167,10 +169,20 @@ type ProbeOptions struct {
 	Metric Metric
 	// Calib supplies the calibration batch for MetricOutputKL.
 	Calib [][]int
+	// Trace, when set, parents the per-layer probe spans so the probe
+	// nests under the owning pipeline stage in the trace viewer. Zero
+	// value is fine (inert when observability is disabled).
+	Trace obsv.Span
 }
 
 // Probe measures the sensitivity matrix of m's blocks over cands.
+//
+// With observability enabled, each layer's probe is a luc.probe_layer
+// span (labeled layer=<i>), every (layer, candidate) evaluation counts
+// toward luc.probe_evals, and the layer's mean cost over candidates is
+// published as the layer-labeled gauge luc.layer_sensitivity.
 func Probe(m *nn.Model, cands []Candidate, opt ProbeOptions) Sensitivity {
+	obs := obsv.Global()
 	sens := make(Sensitivity, len(m.Blocks))
 	var baseProbs *tensor.Tensor
 	if opt.Metric == MetricOutputKL {
@@ -180,6 +192,10 @@ func Probe(m *nn.Model, cands []Candidate, opt ProbeOptions) Sensitivity {
 		baseProbs = softmaxLogits(m.Logits(opt.Calib).Data)
 	}
 	for layer, block := range m.Blocks {
+		var layerSpan obsv.Span
+		if obs != nil {
+			layerSpan = opt.Trace.Child("luc.probe_layer", obsv.L("layer", strconv.Itoa(layer)))
+		}
 		sens[layer] = make([]float64, len(cands))
 		weights := block.WeightMatrices()
 		for ci, c := range cands {
@@ -205,6 +221,16 @@ func Probe(m *nn.Model, cands []Candidate, opt ProbeOptions) Sensitivity {
 					w.CopyFrom(saved[i])
 				}
 			}
+		}
+		if obs != nil {
+			obs.Add("luc.probe_evals", int64(len(cands)))
+			var sum float64
+			for _, v := range sens[layer] {
+				sum += v
+			}
+			obs.SetGauge("luc.layer_sensitivity", sum/float64(len(cands)),
+				obsv.L("layer", strconv.Itoa(layer)))
+			layerSpan.End()
 		}
 	}
 	return sens

@@ -54,3 +54,32 @@ func BenchmarkEnabledEmitSpan(b *testing.B) {
 		StartSpan("hot").End()
 	}
 }
+
+func BenchmarkDisabledLabeledGauge(b *testing.B) {
+	SetGlobal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SetGauge("hot", 1, L("layer", "3"))
+	}
+}
+
+// TestDisabledPathIsAllocFree is the bench guard as a hard test: with no
+// global recorder installed, every package-level helper must complete
+// without allocating (one atomic load + nil check).
+func TestDisabledPathIsAllocFree(t *testing.T) {
+	SetGlobal(nil)
+	labels := []Label{L("layer", "3")}
+	cases := map[string]func(){
+		"StartSpan": func() { StartSpan("hot").End() },
+		"Add":       func() { Add("hot", 1) },
+		"SetGauge":  func() { SetGauge("hot", 1) },
+		"Observe":   func() { Observe("hot", 1) },
+		"Labeled":   func() { Add("hot", 1, labels...) },
+		"Child":     func() { Span{}.Child("hot").End() },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op when disabled, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package obsv
+
+import "context"
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s, so call trees that
+// already thread a context (experiments, method runners) can parent their
+// spans without new plumbing parameters.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or a zero Span (whose
+// Child starts a root span on the global recorder — inert when
+// observability is disabled). Accepts a nil context.
+func SpanFromContext(ctx context.Context) Span {
+	if ctx == nil {
+		return Span{}
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(Span)
+	return s
+}

@@ -33,6 +33,11 @@ type Event struct {
 	Fields       map[string]float64 `json:"fields,omitempty"`
 	Manifest     *Manifest          `json:"manifest,omitempty"`
 	Summary      *Summary           `json:"summary,omitempty"`
+
+	// SpanID/ParentID link span events into the run's span tree; 0 means
+	// "none" (root span, or a pre-hierarchy stream).
+	SpanID   uint64 `json:"span,omitempty"`
+	ParentID uint64 `json:"parent,omitempty"`
 }
 
 // Emitter serialises events as JSON lines to a writer. All methods are

@@ -1,0 +1,106 @@
+package obsv
+
+import "math"
+
+// histogram is a fixed-bucket log-scale histogram used to estimate
+// quantiles without retaining samples. Bucket i covers values in
+// [histMin·growth^(i-1), histMin·growth^i) with histBucketsPerDecade
+// buckets per decade over [histMin, histMax); bucket 0 is the underflow
+// bucket (v < histMin, including zero and negatives) and the last bucket
+// catches overflow. With 8 buckets per decade the relative error of a
+// quantile estimate is bounded by one bucket width, ~33%, which is plenty
+// for latency/norm-style diagnostics; exact min/max are tracked separately
+// in DistStat and quantiles are clamped into [Min, Max].
+const (
+	histBucketsPerDecade = 8
+	histMinExp           = -9 // 1e-9: below a nanosecond-in-ms / tiny norms
+	histMaxExp           = 12 // 1e12
+	histSpan             = (histMaxExp - histMinExp) * histBucketsPerDecade
+	histBuckets          = histSpan + 2 // + underflow + overflow
+)
+
+var (
+	histMin = math.Pow(10, histMinExp)
+	// histLogGrowth is log10(growth) = 1/bucketsPerDecade.
+	histLogGrowth = 1.0 / histBucketsPerDecade
+)
+
+type histogram struct {
+	counts [histBuckets]int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if !(v >= histMin) { // catches v < histMin, zero, negatives, NaN
+		return 0
+	}
+	// Clamp in the float domain: int(+Inf) and other huge conversions are
+	// not defined to saturate.
+	f := (math.Log10(v) - histMinExp) / histLogGrowth
+	if f >= float64(histSpan) {
+		return histBuckets - 1
+	}
+	idx := 1 + int(math.Floor(f))
+	if idx < 1 {
+		idx = 1
+	}
+	return idx
+}
+
+func (h *histogram) observe(v float64) {
+	h.counts[bucketOf(v)]++
+}
+
+// bucketLower returns the lower bound of bucket idx (idx >= 1).
+func bucketLower(idx int) float64 {
+	return math.Pow(10, histMinExp+float64(idx-1)*histLogGrowth)
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) of the observed stream,
+// interpolating geometrically within the containing bucket and clamping
+// the result to the exact observed [min, max].
+func (h *histogram) quantile(q, min, max float64) float64 {
+	var total int64
+	for _, c := range h.counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		var v float64
+		switch i {
+		case 0:
+			// Underflow bucket: all we know is v < histMin.
+			v = min
+		case histBuckets - 1:
+			v = max
+		default:
+			// Position of the wanted rank within this bucket, in (0, 1].
+			frac := float64(rank-(cum-c)) / float64(c)
+			lo := bucketLower(i)
+			hi := bucketLower(i + 1)
+			v = lo * math.Pow(hi/lo, frac)
+		}
+		if v < min {
+			v = min
+		}
+		if v > max {
+			v = max
+		}
+		return v
+	}
+	return max
+}

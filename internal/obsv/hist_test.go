@@ -1,0 +1,97 @@
+package obsv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	// 1..1000: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990, within one log bucket
+	// (~33% relative).
+	for i := 1; i <= 1000; i++ {
+		r.Observe("lat", float64(i))
+	}
+	d := r.Snapshot().Dists["lat"]
+	if d.Count != 1000 || d.Min != 1 || d.Max != 1000 {
+		t.Fatalf("dist = %+v", d)
+	}
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got < want/1.5 || got > want*1.5 {
+			t.Fatalf("%s = %v, want within 1.5x of %v", name, got, want)
+		}
+	}
+	check("p50", d.P50, 500)
+	check("p95", d.P95, 950)
+	check("p99", d.P99, 990)
+	if d.P50 > d.P95 || d.P95 > d.P99 {
+		t.Fatalf("quantiles not monotone: %+v", d)
+	}
+	if d.P99 > d.Max || d.P50 < d.Min {
+		t.Fatalf("quantiles must be clamped to [min,max]: %+v", d)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	r := New()
+	r.Observe("x", 42)
+	d := r.Snapshot().Dists["x"]
+	for _, q := range []float64{d.P50, d.P95, d.P99} {
+		if q != 42 {
+			t.Fatalf("single observation must pin every quantile to 42: %+v", d)
+		}
+	}
+}
+
+func TestHistogramNonPositive(t *testing.T) {
+	r := New()
+	r.Observe("x", -5)
+	r.Observe("x", 0)
+	r.Observe("x", 10)
+	d := r.Snapshot().Dists["x"]
+	if d.Min != -5 || d.Max != 10 {
+		t.Fatalf("dist = %+v", d)
+	}
+	// Non-positive samples land in the underflow bucket and resolve to Min.
+	if d.P50 != -5 {
+		t.Fatalf("p50 = %v, want underflow -> min", d.P50)
+	}
+	if d.P99 < -5 || d.P99 > 10 {
+		t.Fatalf("p99 = %v out of [min,max]", d.P99)
+	}
+}
+
+func TestBucketOfExtremes(t *testing.T) {
+	for _, v := range []float64{0, -1, math.Inf(-1), math.NaN(), 1e-300} {
+		if bucketOf(v) != 0 {
+			t.Fatalf("bucketOf(%v) = %d, want underflow bucket", v, bucketOf(v))
+		}
+	}
+	if bucketOf(math.Inf(1)) != histBuckets-1 || bucketOf(1e300) != histBuckets-1 {
+		t.Fatal("huge values must land in the overflow bucket")
+	}
+	// Buckets are monotone in v.
+	prev := 0
+	for _, v := range []float64{1e-9, 1e-6, 1e-3, 1, 10, 1e3, 1e6, 1e11} {
+		b := bucketOf(v)
+		if b <= prev {
+			t.Fatalf("bucketOf(%v) = %d, not increasing past %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestSpanStatQuantiles(t *testing.T) {
+	r := New()
+	for i := 0; i < 100; i++ {
+		r.ObserveSpan("step", float64(i+1))
+	}
+	st := r.Snapshot().Spans["step"]
+	if st.Count != 100 || st.MaxMS != 100 {
+		t.Fatalf("span stat = %+v", st)
+	}
+	if st.P50MS <= 0 || st.P95MS < st.P50MS || st.P99MS < st.P95MS || st.P99MS > st.MaxMS {
+		t.Fatalf("span quantiles inconsistent: %+v", st)
+	}
+}

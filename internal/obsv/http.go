@@ -1,0 +1,255 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the optional live telemetry endpoint (-telemetry-addr). It
+// serves:
+//
+//	/metrics           Prometheus text exposition of every counter, gauge,
+//	                   distribution (as a summary with quantiles) and span
+//	                   aggregate (<name>_duration_ms summary)
+//	/debug/vars        expvar JSON, including the full obsv snapshot under
+//	                   the "edgellm" key
+//	/debug/pprof/      the standard runtime profiles (heap, goroutine,
+//	                   CPU, ...) so a long run can be profiled while it
+//	                   executes
+//
+// The server reads the Recorder through its lock-free snapshot path, so
+// scraping never blocks recording.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarRec is the recorder exposed through /debug/vars. expvar.Publish
+// panics on duplicate names, so the variable is published once and
+// indirects through this pointer, letting tests start several servers.
+var (
+	expvarRec       atomic.Pointer[Recorder]
+	expvarPublished atomic.Bool
+)
+
+// StartServer listens on addr (host:port; use port 0 for an ephemeral
+// port) and serves telemetry for r in a background goroutine. Call Addr
+// for the resolved address and Close to shut down.
+func StartServer(addr string, r *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarRec.Store(r)
+	if expvarPublished.CompareAndSwap(false, true) {
+		expvar.Publish("edgellm", expvar.Func(func() any {
+			return expvarRec.Load().Snapshot()
+		}))
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "edgellm telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the resolved listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// --- Prometheus text exposition ---------------------------------------------
+
+// promName sanitises a metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* (dots become underscores: train.step_ms →
+// train_step_ms).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			if i == 0 && c >= '0' && c <= '9' {
+				// A leading digit is valid past position 0: keep it, prefixed.
+				b.WriteByte('_')
+				b.WriteRune(c)
+				continue
+			}
+			c = '_'
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}
+
+// promLabelName sanitises a label key ([a-zA-Z_][a-zA-Z0-9_]*).
+func promLabelName(name string) string {
+	s := promName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promLabels renders a label set (plus optional extra pairs) as
+// {k="v",...}, keys sorted; empty string when there are none.
+func promLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries reconstructs (name, labels) from a registry series key
+// ("name" or "name{k=v,...}"). Snapshot keys are built by seriesKey, so
+// the inverse parse is exact for label values without ',' or '='; such
+// values degrade gracefully (split at the first '=' per comma segment).
+func promSeries(key string) (string, []Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name := key[:open]
+	body := key[open+1 : len(key)-1]
+	var labels []Label
+	for _, part := range strings.Split(body, ",") {
+		if k, v, ok := strings.Cut(part, "="); ok {
+			labels = append(labels, Label{Key: k, Value: v})
+		}
+	}
+	return name, labels
+}
+
+// writePrometheus renders a Summary in the Prometheus text format:
+// counters as counter families, gauges as gauge families, distributions
+// and span aggregates as summary families with quantile labels plus
+// _sum/_count (spans are exported as <name>_duration_ms). Output is
+// sorted so scrapes are deterministic and diffable.
+func writePrometheus(w io.Writer, s Summary) {
+	type line struct{ labels, value string }
+	type family struct {
+		typ   string
+		lines []line
+	}
+	fams := map[string]*family{}
+	fam := func(name, typ string) *family {
+		f := fams[name]
+		if f == nil {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for key, v := range s.Counters {
+		name, labels := promSeries(key)
+		f := fam(promName(name), "counter")
+		f.lines = append(f.lines, line{promLabels(labels), strconv.FormatInt(v, 10)})
+	}
+	for key, v := range s.Gauges {
+		name, labels := promSeries(key)
+		f := fam(promName(name), "gauge")
+		f.lines = append(f.lines, line{promLabels(labels), promFloat(v)})
+	}
+	emitSummary := func(base string, labels []Label, count int64, sum, p50, p95, p99 float64) {
+		f := fam(base, "summary")
+		f.lines = append(f.lines,
+			line{promLabels(labels, L("quantile", "0.5")), promFloat(p50)},
+			line{promLabels(labels, L("quantile", "0.95")), promFloat(p95)},
+			line{promLabels(labels, L("quantile", "0.99")), promFloat(p99)},
+			line{"_sum" + promLabels(labels), promFloat(sum)},
+			line{"_count" + promLabels(labels), strconv.FormatInt(count, 10)},
+		)
+	}
+	for key, d := range s.Dists {
+		name, labels := promSeries(key)
+		emitSummary(promName(name), labels, d.Count, d.Sum, d.P50, d.P95, d.P99)
+	}
+	for key, sp := range s.Spans {
+		name, labels := promSeries(key)
+		emitSummary(promName(name)+"_duration_ms", labels, sp.Count, sp.TotalMS, sp.P50MS, sp.P95MS, sp.P99MS)
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.lines, func(i, j int) bool { return f.lines[i].labels < f.lines[j].labels })
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ)
+		// "_sum{...}" / "_count{...}" lines carry their suffix in the labels
+		// field so they render and sort with their family.
+		for _, l := range f.lines {
+			fmt.Fprintf(w, "%s%s %s\n", name, l.labels, l.value)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package obsv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func demoRecorder() *Recorder {
+	r := New()
+	r.Add("suite.tasks", 3)
+	r.Add("train.steps", 100, L("experiment", "T1"))
+	r.SetGauge("luc.layer_bits", 4, L("layer", "0"))
+	r.SetGauge("luc.layer_bits", 8, L("layer", "1"))
+	for i := 1; i <= 20; i++ {
+		r.Observe("train.step_ms", float64(i))
+	}
+	sp := r.StartSpan("pipeline.compress", L("experiment", "T1"))
+	sp.End()
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	writePrometheus(&b, demoRecorder().Snapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE suite_tasks counter",
+		"suite_tasks 3",
+		`train_steps{experiment="T1"} 100`,
+		"# TYPE luc_layer_bits gauge",
+		`luc_layer_bits{layer="0"} 4`,
+		`luc_layer_bits{layer="1"} 8`,
+		"# TYPE train_step_ms summary",
+		`train_step_ms{quantile="0.5"}`,
+		"train_step_ms_sum 210",
+		"train_step_ms_count 20",
+		"# TYPE pipeline_compress_duration_ms summary",
+		`pipeline_compress_duration_ms_count{experiment="T1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Dots must not survive sanitisation in metric names.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _ := strings.Cut(line, "{")
+		name, _, _ = strings.Cut(name, " ")
+		if strings.ContainsAny(name, ". \t") {
+			t.Fatalf("unsanitised metric name in line %q", line)
+		}
+	}
+}
+
+func TestPromNameSanitises(t *testing.T) {
+	cases := map[string]string{
+		"train.step_ms": "train_step_ms",
+		"a-b/c":         "a_b_c",
+		"9lives":        "_9lives",
+		"ok_name:x":     "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromSeriesRoundTrip(t *testing.T) {
+	name, labels := promSeries(seriesKey("luc.layer_bits", []Label{L("layer", "3"), L("experiment", "T2")}))
+	if name != "luc.layer_bits" || len(labels) != 2 {
+		t.Fatalf("promSeries = %q %v", name, labels)
+	}
+	if labels[0].Key != "experiment" || labels[1].Value != "3" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if n, l := promSeries("plain"); n != "plain" || l != nil {
+		t.Fatalf("plain key parsed as %q %v", n, l)
+	}
+}
+
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	r := demoRecorder()
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "suite_tasks 3") {
+		t.Fatalf("/metrics = %d\n%s", code, body)
+	}
+	// Recording after server start must show up on the next scrape.
+	r.Add("suite.tasks", 2)
+	if _, body = get("/metrics"); !strings.Contains(body, "suite_tasks 5") {
+		t.Fatalf("scrape not live:\n%s", body)
+	}
+
+	if code, body = get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, "edgellm") {
+		t.Fatalf("/debug/vars = %d\n%s", code, body)
+	}
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, body = get("/debug/pprof/heap?debug=1"); code != http.StatusOK || !strings.Contains(body, "heap") {
+		t.Fatalf("/debug/pprof/heap = %d", code)
+	}
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestTwoServersSequentially(t *testing.T) {
+	// expvar.Publish panics on duplicates; StartServer must be callable
+	// more than once per process (tests, repeated runs in one binary).
+	a, err := StartServer("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b, err := StartServer("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+}

@@ -1,15 +1,17 @@
-// Package obsv is the repository's observability substrate: monotonic
-// timer spans, counter/gauge/distribution registries, a per-run manifest
-// (config hash, seed, git revision, Go version), and a JSONL event
-// emitter.
+// Package obsv is the repository's observability substrate: hierarchical
+// monotonic timer spans, labeled counter/gauge/distribution registries with
+// log-histogram quantiles, a per-run manifest (config hash, seed, git
+// revision, Go version), a JSONL event emitter, a Chrome trace-event
+// exporter, and a live HTTP endpoint (Prometheus text + expvar + pprof).
 //
 // The package is built around one invariant: when observability is
 // disabled (the default), the hot-path cost is a single atomic pointer
 // load and a nil check — no clock reads, no allocation, no locking. All
-// instrumented code paths (train.Trainer.Step, core.Pipeline stages, the
-// hwsim schedule search) call the nil-safe package-level helpers below and
-// therefore pay effectively nothing until a Recorder is installed with
-// SetGlobal.
+// instrumented code paths (train.Trainer.Step, adapt.Tuner.Step, the
+// core.Pipeline stages, the hwsim schedule search) call the nil-safe
+// package-level helpers below and therefore pay effectively nothing until
+// a Recorder is installed with SetGlobal. A test and a benchmark guard
+// this (TestDisabledPathIsAllocFree, BenchmarkDisabled*).
 //
 // Concurrency: every Recorder method is safe for concurrent use, which the
 // parallel experiment runner (core.RunAll) relies on. Counters commute, so
@@ -21,12 +23,14 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Label is one key=value annotation attached to spans and events.
+// Label is one key=value annotation attached to spans and events. Labeled
+// metrics form distinct series per label set (e.g. per-layer gauges).
 type Label struct{ Key, Value string }
 
 // L is shorthand for constructing a Label.
@@ -50,12 +54,19 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the gauge's current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// DistStat summarises an observed value stream.
+// DistStat summarises an observed value stream: moments plus quantile
+// estimates from a fixed-bucket log histogram (see hist.go). Quantiles are
+// estimated to within one histogram bucket (±~33% relative) for positive
+// values; non-positive observations land in the underflow bucket and
+// resolve to Min.
 type DistStat struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
 }
 
 // Mean returns the stream mean (0 for an empty stream).
@@ -66,11 +77,13 @@ func (d DistStat) Mean() float64 {
 	return d.Sum / float64(d.Count)
 }
 
-// dist accumulates a DistStat under a mutex (observations are rare enough
-// on instrumented paths that a lock beats the complexity of sharding).
+// dist accumulates a DistStat plus its log histogram under a mutex
+// (observations are rare enough on instrumented paths that a lock beats
+// the complexity of sharding).
 type dist struct {
-	mu sync.Mutex
-	s  DistStat
+	mu   sync.Mutex
+	s    DistStat
+	hist histogram
 }
 
 func (d *dist) observe(v float64) {
@@ -83,37 +96,71 @@ func (d *dist) observe(v float64) {
 	}
 	d.s.Count++
 	d.s.Sum += v
+	d.hist.observe(v)
 	d.mu.Unlock()
 }
 
 func (d *dist) stat() DistStat {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.s
+	s := d.s
+	if s.Count > 0 {
+		s.P50 = d.hist.quantile(0.50, s.Min, s.Max)
+		s.P95 = d.hist.quantile(0.95, s.Min, s.Max)
+		s.P99 = d.hist.quantile(0.99, s.Min, s.Max)
+	}
+	return s
 }
 
-// SpanStat aggregates all completed spans of one name.
+// SpanStat aggregates all completed spans of one (name, labels) series.
 type SpanStat struct {
 	Count   int64   `json:"count"`
 	TotalMS float64 `json:"total_ms"`
+	P50MS   float64 `json:"p50_ms,omitempty"`
+	P95MS   float64 `json:"p95_ms,omitempty"`
+	P99MS   float64 `json:"p99_ms,omitempty"`
+	MaxMS   float64 `json:"max_ms,omitempty"`
+}
+
+// entry pairs a metric with its identity: the bare name plus the labels
+// that distinguish this series (the map key is seriesKey(name, labels)).
+type counterEntry struct {
+	name   string
+	labels []Label
+	c      Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []Label
+	g      Gauge
+}
+
+type distEntry struct {
+	name   string
+	labels []Label
+	d      dist
 }
 
 // Recorder is the central registry: it owns the metric maps and the
-// optional JSONL emitter and trace writer. The zero value is not usable;
-// construct with New. A nil *Recorder is a valid no-op receiver for every
-// method, which is what makes the disabled path free.
+// optional JSONL emitter, span logger, and Chrome trace writer. The zero
+// value is not usable; construct with New. A nil *Recorder is a valid
+// no-op receiver for every method, which is what makes the disabled path
+// free.
 type Recorder struct {
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	dists    map[string]*dist
-	spans    map[string]*dist // span durations in ms
+	counters map[string]*counterEntry
+	gauges   map[string]*gaugeEntry
+	dists    map[string]*distEntry
+	spans    map[string]*distEntry
 
 	emitter atomic.Pointer[Emitter]
-	trace   atomic.Pointer[traceWriter]
+	spanlog atomic.Pointer[spanLogger]
+	chrome  atomic.Pointer[TraceWriter]
 }
 
-type traceWriter struct {
+// spanLogger writes one human-readable line per completed span.
+type spanLogger struct {
 	mu sync.Mutex
 	w  io.Writer
 }
@@ -121,10 +168,10 @@ type traceWriter struct {
 // New returns an empty Recorder.
 func New() *Recorder {
 	return &Recorder{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		dists:    map[string]*dist{},
-		spans:    map[string]*dist{},
+		counters: map[string]*counterEntry{},
+		gauges:   map[string]*gaugeEntry{},
+		dists:    map[string]*distEntry{},
+		spans:    map[string]*distEntry{},
 	}
 }
 
@@ -138,91 +185,133 @@ func (r *Recorder) SetEmitter(e *Emitter) {
 }
 
 // SetTrace attaches a writer that receives one human-readable line per
-// completed span (the -trace flag); nil detaches.
+// completed span (the -spanlog flag); nil detaches.
 func (r *Recorder) SetTrace(w io.Writer) {
 	if r == nil {
 		return
 	}
 	if w == nil {
-		r.trace.Store(nil)
+		r.spanlog.Store(nil)
 		return
 	}
-	r.trace.Store(&traceWriter{w: w})
+	r.spanlog.Store(&spanLogger{w: w})
 }
 
-// counter returns the named counter, creating it on first use.
-func (r *Recorder) counter(name string) *Counter {
-	r.mu.RLock()
-	c := r.counters[name]
-	r.mu.RUnlock()
-	if c != nil {
-		return c
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c = r.counters[name]; c == nil {
-		c = &Counter{}
-		r.counters[name] = c
-	}
-	return c
-}
-
-// gauge returns the named gauge, creating it on first use.
-func (r *Recorder) gauge(name string) *Gauge {
-	r.mu.RLock()
-	g := r.gauges[name]
-	r.mu.RUnlock()
-	if g != nil {
-		return g
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g = r.gauges[name]; g == nil {
-		g = &Gauge{}
-		r.gauges[name] = g
-	}
-	return g
-}
-
-func (r *Recorder) dist(m map[string]*dist, name string) *dist {
-	r.mu.RLock()
-	d := m[name]
-	r.mu.RUnlock()
-	if d != nil {
-		return d
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if d = m[name]; d == nil {
-		d = &dist{}
-		m[name] = d
-	}
-	return d
-}
-
-// Add increments the named counter. No-op on a nil Recorder.
-func (r *Recorder) Add(name string, delta int64) {
+// SetTraceWriter attaches a Chrome trace-event exporter that receives
+// every completed span as a complete ("X") event and every gauge update /
+// distribution sample as a counter ("C") event; nil detaches. The caller
+// owns the writer and must Close it to finish the JSON array.
+func (r *Recorder) SetTraceWriter(tw *TraceWriter) {
 	if r == nil {
 		return
 	}
-	r.counter(name).Add(delta)
+	r.chrome.Store(tw)
 }
 
-// SetGauge stores the named gauge's value. No-op on a nil Recorder.
-func (r *Recorder) SetGauge(name string, v float64) {
+// seriesKey is the canonical registry key of a (name, labels) series:
+// the bare name, or name{k=v,...} with keys sorted.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// copyLabels snapshots a variadic label slice for retention in the registry.
+func copyLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	return append([]Label(nil), labels...)
+}
+
+// counter returns the named counter series, creating it on first use.
+func (r *Recorder) counter(name string, labels []Label) *Counter {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	e := r.counters[key]
+	r.mu.RUnlock()
+	if e != nil {
+		return &e.c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.counters[key]; e == nil {
+		e = &counterEntry{name: name, labels: copyLabels(labels)}
+		r.counters[key] = e
+	}
+	return &e.c
+}
+
+// gauge returns the named gauge series, creating it on first use.
+func (r *Recorder) gauge(name string, labels []Label) *Gauge {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	e := r.gauges[key]
+	r.mu.RUnlock()
+	if e != nil {
+		return &e.g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.gauges[key]; e == nil {
+		e = &gaugeEntry{name: name, labels: copyLabels(labels)}
+		r.gauges[key] = e
+	}
+	return &e.g
+}
+
+func (r *Recorder) dist(m map[string]*distEntry, name string, labels []Label) *dist {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	e := m[key]
+	r.mu.RUnlock()
+	if e != nil {
+		return &e.d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = m[key]; e == nil {
+		e = &distEntry{name: name, labels: copyLabels(labels)}
+		m[key] = e
+	}
+	return &e.d
+}
+
+// Add increments the named counter series. No-op on a nil Recorder.
+func (r *Recorder) Add(name string, delta int64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	r.gauge(name).Set(v)
+	r.counter(name, labels).Add(delta)
 }
 
-// Observe records one sample of the named distribution and, when an
-// emitter is attached, writes a metric event. No-op on a nil Recorder.
+// SetGauge stores the named gauge series' value and, when a Chrome trace
+// writer is attached, emits a counter event so the series is visible as a
+// track in the trace viewer. No-op on a nil Recorder.
+func (r *Recorder) SetGauge(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.gauge(name, labels).Set(v)
+	if tw := r.chrome.Load(); tw != nil {
+		tw.Counter(seriesKey(name, labels), v)
+	}
+}
+
+// Observe records one sample of the named distribution series and, when an
+// emitter or trace writer is attached, writes a metric / counter event.
+// No-op on a nil Recorder.
 func (r *Recorder) Observe(name string, v float64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	r.dist(r.dists, name).observe(v)
+	r.dist(r.dists, name, labels).observe(v)
 	if e := r.emitter.Load(); e != nil {
 		e.Emit(Event{
 			TimeUnixNano: time.Now().UnixNano(),
@@ -232,25 +321,86 @@ func (r *Recorder) Observe(name string, v float64, labels ...Label) {
 			Labels:       labelMap(labels),
 		})
 	}
+	if tw := r.chrome.Load(); tw != nil {
+		tw.Counter(seriesKey(name, labels), v)
+	}
 }
 
+// ObserveSpan records a completed span duration (in milliseconds) directly
+// into the span registry, without timing anything. Offline tools use it to
+// replay JSONL streams back into a Recorder (see cmd/edgellm telemetry).
+func (r *Recorder) ObserveSpan(name string, ms float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.dist(r.spans, name, labels).observe(ms)
+}
+
+// spanIDs and trackIDs allocate process-unique span identities and trace
+// tracks ("tid" in the Chrome trace format; spans on the same track nest
+// by time containment in trace viewers).
+var (
+	spanIDs  atomic.Uint64
+	trackIDs atomic.Uint64
+)
+
 // Span is a live timing region returned by StartSpan. The zero Span (from
-// a nil Recorder) is valid and its End/EndWith are no-ops.
+// a nil Recorder) is valid: End/EndWith are no-ops and Child falls back to
+// starting a root span on the global recorder, so parent threading never
+// needs nil checks.
 type Span struct {
 	r      *Recorder
 	name   string
 	start  time.Time
 	labels []Label
+	id     uint64
+	parent uint64
+	tid    uint64
 }
 
-// StartSpan begins a monotonic timing region. On a nil Recorder it returns
-// an inert zero Span without reading the clock.
+// StartSpan begins a root monotonic timing region on a new trace track. On
+// a nil Recorder it returns an inert zero Span without reading the clock.
 func (r *Recorder) StartSpan(name string, labels ...Label) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{r: r, name: name, start: time.Now(), labels: labels}
+	return Span{
+		r: r, name: name, start: time.Now(), labels: labels,
+		id: spanIDs.Add(1), tid: trackIDs.Add(1),
+	}
 }
+
+// Child begins a sub-span on the same trace track, so it nests under s in
+// chrome://tracing / Perfetto. On a span without a recorder (zero Span) it
+// falls back to a root span on the global recorder — inert when disabled —
+// which lets instrumented code thread optional parents unconditionally.
+func (s Span) Child(name string, labels ...Label) Span {
+	if s.r == nil {
+		return Global().StartSpan(name, labels...)
+	}
+	return Span{
+		r: s.r, name: name, start: time.Now(), labels: labels,
+		id: spanIDs.Add(1), parent: s.id, tid: s.tid,
+	}
+}
+
+// ChildTrack begins a sub-span on a NEW trace track. Use it for children
+// that run concurrently with siblings (the experiment runner's fan-out):
+// complete events on one track must not overlap in time, so concurrent
+// branches each get their own. Parent linkage is preserved in the emitted
+// events' parent field.
+func (s Span) ChildTrack(name string, labels ...Label) Span {
+	if s.r == nil {
+		return Global().StartSpan(name, labels...)
+	}
+	return Span{
+		r: s.r, name: name, start: time.Now(), labels: labels,
+		id: spanIDs.Add(1), parent: s.id, tid: trackIDs.Add(1),
+	}
+}
+
+// ID returns the span's process-unique id (0 for an inert span).
+func (s Span) ID() uint64 { return s.id }
 
 // End completes the span with no extra fields.
 func (s Span) End() { s.EndWith(nil) }
@@ -263,7 +413,7 @@ func (s Span) EndWith(fields map[string]float64) {
 	}
 	dur := time.Since(s.start)
 	ms := float64(dur) / float64(time.Millisecond)
-	s.r.dist(s.r.spans, s.name).observe(ms)
+	s.r.dist(s.r.spans, s.name, s.labels).observe(ms)
 	if e := s.r.emitter.Load(); e != nil {
 		e.Emit(Event{
 			TimeUnixNano: s.start.UnixNano(),
@@ -272,16 +422,22 @@ func (s Span) EndWith(fields map[string]float64) {
 			DurMS:        ms,
 			Labels:       labelMap(s.labels),
 			Fields:       fields,
+			SpanID:       s.id,
+			ParentID:     s.parent,
 		})
 	}
-	if tw := s.r.trace.Load(); tw != nil {
-		tw.mu.Lock()
-		io.WriteString(tw.w, "[trace] "+s.name+labelSuffix(s.labels)+" "+formatMS(ms)+"\n")
-		tw.mu.Unlock()
+	if tw := s.r.chrome.Load(); tw != nil {
+		tw.Span(s.name, s.start, ms, s.tid, s.id, s.parent, s.labels, fields)
+	}
+	if sl := s.r.spanlog.Load(); sl != nil {
+		sl.mu.Lock()
+		io.WriteString(sl.w, "[trace] "+s.name+labelSuffix(s.labels)+" "+formatMS(ms)+"\n")
+		sl.mu.Unlock()
 	}
 }
 
-// Summary is a point-in-time snapshot of every registered metric.
+// Summary is a point-in-time snapshot of every registered metric series,
+// keyed by seriesKey (the bare name, or name{k=v,...}).
 type Summary struct {
 	Counters map[string]int64    `json:"counters,omitempty"`
 	Gauges   map[string]float64  `json:"gauges,omitempty"`
@@ -304,18 +460,21 @@ func (r *Recorder) Snapshot() Summary {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+	for key, e := range r.counters {
+		s.Counters[key] = e.c.Value()
 	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+	for key, e := range r.gauges {
+		s.Gauges[key] = e.g.Value()
 	}
-	for name, d := range r.dists {
-		s.Dists[name] = d.stat()
+	for key, e := range r.dists {
+		s.Dists[key] = e.d.stat()
 	}
-	for name, d := range r.spans {
-		st := d.stat()
-		s.Spans[name] = SpanStat{Count: st.Count, TotalMS: st.Sum}
+	for key, e := range r.spans {
+		st := e.d.stat()
+		s.Spans[key] = SpanStat{
+			Count: st.Count, TotalMS: st.Sum,
+			P50MS: st.P50, P95MS: st.P95, P99MS: st.P99, MaxMS: st.Max,
+		}
 	}
 	return s
 }
@@ -374,14 +533,14 @@ func Global() *Recorder { return global.Load() }
 // (e.g. an extra gradient-norm pass).
 func Enabled() bool { return global.Load() != nil }
 
-// StartSpan opens a span on the global recorder (inert when disabled).
+// StartSpan opens a root span on the global recorder (inert when disabled).
 func StartSpan(name string, labels ...Label) Span { return global.Load().StartSpan(name, labels...) }
 
 // Add increments a counter on the global recorder (no-op when disabled).
-func Add(name string, delta int64) { global.Load().Add(name, delta) }
+func Add(name string, delta int64, labels ...Label) { global.Load().Add(name, delta, labels...) }
 
 // SetGauge sets a gauge on the global recorder (no-op when disabled).
-func SetGauge(name string, v float64) { global.Load().SetGauge(name, v) }
+func SetGauge(name string, v float64, labels ...Label) { global.Load().SetGauge(name, v, labels...) }
 
 // Observe records a distribution sample on the global recorder (no-op
 // when disabled).

@@ -50,8 +50,9 @@ func TestGlobalDisabledHelpers(t *testing.T) {
 	if snap.Counters["c"] != 2 {
 		t.Fatalf("counter = %d, want 2", snap.Counters["c"])
 	}
-	if snap.Spans["s"].Count != 1 {
-		t.Fatalf("span count = %d, want 1", snap.Spans["s"].Count)
+	// Labeled spans form their own series, keyed name{k=v}.
+	if snap.Spans["s{k=v}"].Count != 1 {
+		t.Fatalf("span count = %d, want 1 (keys: %v)", snap.Spans["s{k=v}"].Count, snap.Spans)
 	}
 }
 
@@ -160,8 +161,11 @@ func TestJSONLStream(t *testing.T) {
 	if events[2].Kind != KindMetric || events[2].Value != 0.5 {
 		t.Fatalf("bad metric event: %+v", events[2])
 	}
+	if events[1].SpanID == 0 {
+		t.Fatalf("span event must carry its span id: %+v", events[1])
+	}
 	if events[3].Kind != KindSummary || events[3].Summary == nil ||
-		events[3].Summary.Spans["pipeline.tune"].Count != 1 {
+		events[3].Summary.Spans["pipeline.tune{experiment=T1}"].Count != 1 {
 		t.Fatalf("bad summary event: %+v", events[3])
 	}
 }

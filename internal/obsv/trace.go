@@ -1,0 +1,163 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceWriter streams Chrome trace-event JSON (the "JSON array format"
+// understood by chrome://tracing and Perfetto). Every completed Span
+// becomes a complete ("X") event placed on the span's track (tid), so
+// parent/child spans on one track nest visually by time containment;
+// gauge updates and distribution samples become counter ("C") events that
+// render as value tracks. Attach with Recorder.SetTraceWriter and Close
+// when the run ends to terminate the JSON array.
+//
+// The writer retains the first write error and drops all subsequent
+// events, so a full disk mid-run cannot panic the experiment; Close and
+// Err surface the failure to the caller (the CLI exits non-zero).
+type TraceWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	start  time.Time
+	events int
+	closed bool
+	err    error
+}
+
+// tracePID is the synthetic process id all events share; the run is one
+// process as far as the viewer is concerned.
+const tracePID = 1
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds relative to writer creation
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTraceWriter starts a trace stream on w. The caller keeps ownership
+// of w and must call Close to finish the JSON array before closing w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: w, start: time.Now()}
+	t.mu.Lock()
+	t.write(traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "edgellm"},
+	})
+	t.mu.Unlock()
+	return t
+}
+
+// write appends one event; t.mu must be held.
+func (t *TraceWriter) write(ev traceEvent) {
+	if t.closed || t.err != nil {
+		return
+	}
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	sep := ",\n"
+	if t.events == 0 {
+		sep = "[\n"
+	}
+	if _, err := io.WriteString(t.w, sep); err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// Span records a completed span as a complete event on track tid.
+func (t *TraceWriter) Span(name string, start time.Time, durMS float64, tid, id, parent uint64, labels []Label, fields map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(labels)+len(fields)+2)
+	for _, l := range labels {
+		args[l.Key] = l.Value
+	}
+	for k, v := range fields {
+		args[k] = v
+	}
+	args["span_id"] = id
+	if parent != 0 {
+		args["parent_id"] = parent
+	}
+	ts := float64(start.Sub(t.start)) / float64(time.Microsecond)
+	if ts < 0 {
+		ts = 0
+	}
+	t.mu.Lock()
+	t.write(traceEvent{
+		Name: name, Cat: "span", Ph: "X",
+		TS: ts, Dur: durMS * 1000,
+		PID: tracePID, TID: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Counter records a metric sample as a counter event, which trace viewers
+// render as a per-series value track (per-layer bits, grad norms, vote
+// weights, ...). The series key carries the labels, so each labeled
+// series gets its own track.
+func (t *TraceWriter) Counter(series string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.write(traceEvent{
+		Name: series, Cat: "metric", Ph: "C",
+		TS:  float64(time.Since(t.start)) / float64(time.Microsecond),
+		PID: tracePID, TID: 0,
+		Args: map[string]any{"value": v},
+	})
+	t.mu.Unlock()
+}
+
+// Err returns the first write/encode error, if any.
+func (t *TraceWriter) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close terminates the JSON array and returns the first error seen
+// (including one from the closing write). Further events are dropped.
+func (t *TraceWriter) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err != nil {
+		return t.err
+	}
+	tail := "\n]\n"
+	if t.events == 0 {
+		tail = "[]\n"
+	}
+	if _, err := io.WriteString(t.w, tail); err != nil {
+		t.err = err
+	}
+	return t.err
+}

@@ -1,0 +1,159 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses a finished Chrome trace stream back into events.
+func decodeTrace(t *testing.T, buf []byte) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(buf, &events); err != nil {
+		t.Fatalf("trace is not a well-formed JSON array: %v\n%s", err, buf)
+	}
+	return events
+}
+
+func TestTraceWriterSpansAndCounters(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	r.SetTraceWriter(tw)
+
+	root := r.StartSpan("experiment", L("id", "T1"))
+	child := root.Child("train.step")
+	grand := child.Child("forward")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	r.SetGauge("luc.layer_bits", 4, L("layer", "3"))
+	root.End()
+	if err := tw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	events := decodeTrace(t, buf.Bytes())
+	byName := map[string]map[string]any{}
+	var counter map[string]any
+	for _, ev := range events {
+		name, _ := ev["name"].(string)
+		switch ev["ph"] {
+		case "X":
+			byName[name] = ev
+		case "C":
+			counter = ev
+		}
+	}
+	for _, want := range []string{"experiment", "train.step", "forward"} {
+		if byName[want] == nil {
+			t.Fatalf("missing span %q in trace: %v", want, events)
+		}
+	}
+	// Child spans share the root's track so they nest in the viewer.
+	if byName["train.step"]["tid"] != byName["experiment"]["tid"] {
+		t.Fatal("Child must inherit the parent's track")
+	}
+	args := byName["train.step"]["args"].(map[string]any)
+	rootArgs := byName["experiment"]["args"].(map[string]any)
+	if args["parent_id"] != rootArgs["span_id"] {
+		t.Fatalf("child parent_id %v != root span_id %v", args["parent_id"], rootArgs["span_id"])
+	}
+	if counter == nil || counter["name"] != "luc.layer_bits{layer=3}" {
+		t.Fatalf("gauge update must appear as a counter event, got %v", counter)
+	}
+	// Durations are in microseconds; the slept child must be >= 1ms.
+	if d, _ := byName["forward"]["dur"].(float64); d < 900 {
+		t.Fatalf("forward dur = %vµs, want >= ~1000", d)
+	}
+}
+
+func TestTraceWriterChildTrack(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	r.SetTraceWriter(tw)
+	root := r.StartSpan("suite.run")
+	a := root.ChildTrack("experiment", L("id", "A"))
+	b := root.ChildTrack("experiment", L("id", "B"))
+	a.End()
+	b.End()
+	root.End()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	tids := map[any]bool{}
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			tids[ev["tid"]] = true
+		}
+	}
+	if len(tids) != 3 {
+		t.Fatalf("concurrent ChildTrack spans must get distinct tracks, got %d", len(tids))
+	}
+}
+
+func TestTraceWriterEmpty(t *testing.T) {
+	// A writer that never saw a span still closes to valid JSON.
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	decodeTrace(t, buf.Bytes())
+}
+
+func TestTraceWriterRetainsFirstError(t *testing.T) {
+	fw := &failWriter{}
+	tw := NewTraceWriter(fw)
+	tw.Span("s", time.Now(), 1, 1, 1, 0, nil, nil)
+	if tw.Err() == nil {
+		t.Fatal("write error must surface via Err")
+	}
+	writes := fw.n
+	tw.Counter("c", 1)
+	if fw.n != writes {
+		t.Fatal("writer must stop writing after the first error")
+	}
+	if tw.Close() == nil {
+		t.Fatal("Close must return the retained error")
+	}
+}
+
+func TestChildOfZeroSpanFallsBack(t *testing.T) {
+	SetGlobal(nil)
+	var zero Span
+	sp := zero.Child("orphan")
+	sp.End() // inert: global disabled
+	if sp.ID() != 0 {
+		t.Fatal("disabled child must be inert")
+	}
+
+	r := New()
+	SetGlobal(r)
+	defer SetGlobal(nil)
+	sp = zero.Child("orphan")
+	sp.End()
+	if r.Snapshot().Spans["orphan"].Count != 1 {
+		t.Fatal("child of a zero span must become a root span on the global recorder")
+	}
+}
+
+func TestContextSpanPlumbing(t *testing.T) {
+	r := New()
+	ctx := ContextWithSpan(nil, r.StartSpan("root"))
+	got := SpanFromContext(ctx)
+	if got.ID() == 0 {
+		t.Fatal("span lost in context round-trip")
+	}
+	if SpanFromContext(nil).ID() != 0 {
+		t.Fatal("nil context must yield a zero span")
+	}
+	child := got.Child("leaf")
+	if child.parent != got.id || child.tid != got.tid {
+		t.Fatal("child must link to the context span")
+	}
+}

@@ -69,6 +69,13 @@ type Trainer struct {
 	// the abort, never the skip.
 	MaxBadSteps int
 
+	// GradHook, when set and observability is enabled, is called once per
+	// applied step after clipping and before the optimizer update, while
+	// gradients are still live. adapt.Tuner uses it to record per-block
+	// gradient norms (the block boundaries live there, not here). It is
+	// never called on skipped steps or when the global recorder is off.
+	GradHook func(params []nn.NamedParam)
+
 	step int
 	// badStreak counts consecutive skipped (non-finite) steps.
 	badStreak int
@@ -89,6 +96,7 @@ func (t *Trainer) skipBadStep(lossVal float64) {
 	t.badStreak++
 	if obs := obsv.Global(); obs != nil {
 		obs.Add("train.nonfinite_steps", 1)
+		obs.Add("train.update_skips", 1)
 		obs.SetGauge("train.bad_streak", float64(t.badStreak))
 	}
 	if t.MaxBadSteps > 0 && t.badStreak >= t.MaxBadSteps {
@@ -139,6 +147,9 @@ func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
 		clipped = clipToNorm(params, gradNorm, t.ClipNorm)
 	}
 	t.badStreak = 0
+	if t.GradHook != nil && obs != nil {
+		t.GradHook(params)
+	}
 	lr := t.BaseLR * float32(t.Sched(t.step))
 	t.Opt.Step(params, lr)
 	nn.ZeroGrads(m)
@@ -171,6 +182,9 @@ func (t *Trainer) ApplyGrads(m nn.Module) {
 		clipped = clipToNorm(params, gradNorm, t.ClipNorm)
 	}
 	t.badStreak = 0
+	if t.GradHook != nil && obs != nil {
+		t.GradHook(params)
+	}
 	lr := t.BaseLR * float32(t.Sched(t.step))
 	t.Opt.Step(params, lr)
 	nn.ZeroGrads(m)
