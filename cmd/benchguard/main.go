@@ -1,0 +1,247 @@
+// Command benchguard turns `go test -bench` output into a machine-readable
+// BENCH_kernels.json artifact and, given a checked-in baseline, gates the
+// run:
+//
+//   - allocs/op and B/op for the baseline's gated benchmarks must stay
+//     within the baseline's tolerance (these are machine-independent for
+//     benchmarks whose kernels stay below the tensor parallel threshold);
+//   - the parallel backward kernels must beat their single-band serial
+//     variants by the baseline's min_speedup — checked only when the
+//     benchmarks ran at ≥4 procs, since the speedup criterion is defined
+//     on ≥4 cores.
+//
+// Wall-clock ns/op is recorded in the artifact but never gated: it is not
+// comparable across machines.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkKernel|BenchmarkStep' -benchmem -run '^$' \
+//	    ./internal/tensor ./internal/train | \
+//	  go run ./cmd/benchguard -out BENCH_kernels.json -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	MBs        float64 `json:"mb_s,omitempty"`
+	BOp        int64   `json:"b_op"`
+	AllocsOp   int64   `json:"allocs_op"`
+}
+
+type report struct {
+	GoVersion  string                 `json:"go_version"`
+	NumCPU     int                    `json:"num_cpu"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Speedups   map[string]float64     `json:"speedups,omitempty"`
+}
+
+type gate struct {
+	BOp      int64 `json:"b_op"`
+	AllocsOp int64 `json:"allocs_op"`
+}
+
+type baseline struct {
+	// Tolerance is the allowed fractional regression over the gated
+	// values, e.g. 0.20 fails anything more than 20% worse.
+	Tolerance float64 `json:"tolerance"`
+	// MinSpeedup is the required parallel-vs-serial ratio for the backward
+	// kernels, enforced only when the run used ≥4 procs.
+	MinSpeedup float64         `json:"min_speedup"`
+	Gates      map[string]gate `json:"gates"`
+}
+
+// speedupPairs maps a derived-speedup name to its (parallel, serial)
+// benchmark pair. MatMulT and TMatMul are the backward-pass kernels.
+var speedupPairs = map[string][2]string{
+	"matmult_parallel_vs_serial": {"KernelMatMulT512", "KernelMatMulTSerial512"},
+	"tmatmul_parallel_vs_serial": {"KernelTMatMul512", "KernelTMatMulSerial512"},
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "BENCH_kernels.json", "JSON artifact to write")
+	basePath := flag.String("baseline", "", "baseline JSON to gate against (optional)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: map[string]benchResult{},
+	}
+	if err := parseBench(r, rep.Benchmarks); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	rep.Speedups = deriveSpeedups(rep.Benchmarks)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+
+	if *basePath == "" {
+		return
+	}
+	base, err := loadBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	if errs := check(rep, base); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL: %v\n", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all gates passed")
+}
+
+// parseBench reads `go test -bench` text output. Lines look like
+//
+//	BenchmarkKernelMatMulT512-8  42  28405030 ns/op  28.34 MB/s  12 B/op  1 allocs/op
+//
+// with the -procs suffix omitted when GOMAXPROCS is 1 and the MB/s, B/op,
+// allocs/op columns present only when the benchmark reports them.
+func parseBench(r io.Reader, out map[string]benchResult) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		procs := 1
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
+				procs = p
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Procs: procs, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+			case "MB/s":
+				res.MBs = v
+			case "B/op":
+				res.BOp = int64(v)
+			case "allocs/op":
+				res.AllocsOp = int64(v)
+			}
+		}
+		out[name] = res
+	}
+	return sc.Err()
+}
+
+func deriveSpeedups(benches map[string]benchResult) map[string]float64 {
+	out := map[string]float64{}
+	for name, pair := range speedupPairs {
+		par, okP := benches[pair[0]]
+		ser, okS := benches[pair[1]]
+		if okP && okS && par.NsOp > 0 {
+			out[name] = ser.NsOp / par.NsOp
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func loadBaseline(path string) (baseline, error) {
+	var b baseline
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Tolerance <= 0 {
+		b.Tolerance = 0.20
+	}
+	if b.MinSpeedup <= 0 {
+		b.MinSpeedup = 2.0
+	}
+	return b, nil
+}
+
+func check(rep report, base baseline) []error {
+	var errs []error
+	for name, g := range base.Gates {
+		got, ok := rep.Benchmarks[name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("gated benchmark %s missing from run", name))
+			continue
+		}
+		if max := withTolerance(g.AllocsOp, base.Tolerance); got.AllocsOp > max {
+			errs = append(errs, fmt.Errorf("%s: %d allocs/op exceeds baseline %d (+%.0f%% allowed)",
+				name, got.AllocsOp, g.AllocsOp, base.Tolerance*100))
+		}
+		if max := withTolerance(g.BOp, base.Tolerance); got.BOp > max {
+			errs = append(errs, fmt.Errorf("%s: %d B/op exceeds baseline %d (+%.0f%% allowed)",
+				name, got.BOp, g.BOp, base.Tolerance*100))
+		}
+	}
+	for name, pair := range speedupPairs {
+		par, ok := rep.Benchmarks[pair[0]]
+		if !ok || par.Procs < 4 {
+			continue // speedup criterion is defined on ≥4 cores
+		}
+		if s, ok := rep.Speedups[name]; ok && s < base.MinSpeedup {
+			errs = append(errs, fmt.Errorf("%s: speedup %.2f× below required %.1f× at %d procs",
+				name, s, base.MinSpeedup, par.Procs))
+		}
+	}
+	return errs
+}
+
+// withTolerance returns the largest value that still passes the gate,
+// rounding up so small-integer baselines (e.g. 1 alloc/op) keep at least
+// their own headroom.
+func withTolerance(v int64, tol float64) int64 {
+	return v + int64(float64(v)*tol+0.5)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -23,11 +23,13 @@ import (
 	"syscall"
 	"time"
 
+	ag "edgellm/internal/autograd"
 	"edgellm/internal/core"
 	"edgellm/internal/fault"
 	"edgellm/internal/hwsim"
 	"edgellm/internal/nn"
 	"edgellm/internal/obsv"
+	"edgellm/internal/tensor"
 )
 
 func main() {
@@ -89,11 +91,22 @@ func cmdExperiments(args []string) (err error) {
 	telemetryAddr := fs.String("telemetry-addr", "", "serve live telemetry on this host:port (/metrics Prometheus text, /debug/vars, /debug/pprof); use :0 for an ephemeral port")
 	faultSpec := fs.String("fault", "", `inject deterministic faults: comma-separated mode=ID pairs (panic=F5,flaky=T3,fail=A2) or "smoke"`)
 	retries := fs.Int("retries", 0, "retry budget per experiment for retryable failures (0 = default, negative disables)")
+	pool := fs.String("pool", "on", "tensor arena for the training hot path: on|off (results are byte-identical either way; off is for A/B timing)")
 	fs.Parse(args)
+
+	switch *pool {
+	case "on":
+		ag.SetPool(tensor.NewPool())
+		defer ag.SetPool(nil)
+	case "off":
+	default:
+		return fmt.Errorf("edgellm: -pool must be on or off, got %q", *pool)
+	}
 
 	finish, err := setupObsv(obsvConfig{
 		MetricsPath: *metrics, TracePath: *trace, SpanLog: *spanlog,
 		TelemetryAddr: *telemetryAddr, Parallel: *parallel, Quick: *quick,
+		Pool: *pool,
 	})
 	if err != nil {
 		return err
@@ -192,6 +205,7 @@ type obsvConfig struct {
 	TelemetryAddr string // live /metrics + /debug/pprof endpoint
 	Parallel      int
 	Quick         bool
+	Pool          string // tensor arena state ("on"/"off"), recorded in the manifest
 }
 
 func (c obsvConfig) enabled() bool {
@@ -261,8 +275,10 @@ func setupObsv(c obsvConfig) (func() error, error) {
 		Config   core.Config
 		Quick    bool
 		Parallel int
-	}{cfg, c.Quick, c.Parallel})
+		Pool     string
+	}{cfg, c.Quick, c.Parallel, c.Pool})
 	man.Parallel = c.Parallel
+	man.Pool = c.Pool
 	rec.EmitManifest(man)
 	obsv.SetGlobal(rec)
 	return func() error {

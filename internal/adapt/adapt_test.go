@@ -270,6 +270,32 @@ func TestInstallLoRAIdentityAtInit(t *testing.T) {
 	}
 }
 
+// TestInstallLoRADeterministicInit guards the adapter attach order: each
+// adapter consumes RNG draws at init, so two same-seed installs must
+// produce identical names in identical order with bitwise-equal tensors.
+// (A map-ordered attach loop once made every LoRA run seed-unstable.)
+func TestInstallLoRADeterministicInit(t *testing.T) {
+	build := func() *LoRASet {
+		m := tinyModel(31, 2)
+		return InstallLoRA(m, tensor.NewRNG(32), 4, 8)
+	}
+	a, b := build().Params(), build().Params()
+	if len(a) != len(b) {
+		t.Fatalf("param counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("param %d name %q vs %q: attach order is not deterministic", i, a[i].Name, b[i].Name)
+		}
+		av, bv := a[i].Value.Data.Data, b[i].Value.Data.Data
+		for j := range av {
+			if math.Float32bits(av[j]) != math.Float32bits(bv[j]) {
+				t.Fatalf("param %s element %d differs between same-seed installs", a[i].Name, j)
+			}
+		}
+	}
+}
+
 func TestLoRATuningReducesLossWithFrozenBase(t *testing.T) {
 	m := tinyModel(23, 2)
 	m.SetAllTrainable(false)

@@ -29,13 +29,18 @@ func InstallLoRA(m *nn.Model, g *tensor.RNG, rank int, alpha float32) *LoRASet {
 	}
 	set := &LoRASet{Rank: rank, Alpha: alpha}
 	for bi, block := range m.Blocks {
-		linears := map[string]*nn.Linear{
-			"wq": block.Attn.Wq, "wk": block.Attn.Wk,
-			"wv": block.Attn.Wv, "wo": block.Attn.Wo,
-			"gate": block.MLP.Gate, "up": block.MLP.Up, "down": block.MLP.Down,
+		// Attach order is fixed: each adapter consumes RNG draws at init,
+		// so iterating a map here would make the whole run seed-unstable.
+		linears := []struct {
+			name string
+			lin  *nn.Linear
+		}{
+			{"wq", block.Attn.Wq}, {"wk", block.Attn.Wk},
+			{"wv", block.Attn.Wv}, {"wo", block.Attn.Wo},
+			{"gate", block.MLP.Gate}, {"up", block.MLP.Up}, {"down", block.MLP.Down},
 		}
-		for name, lin := range linears {
-			set.attach(fmt.Sprintf("block%d.%s", bi, name), lin, g)
+		for _, l := range linears {
+			set.attach(fmt.Sprintf("block%d.%s", bi, l.name), l.lin, g)
 		}
 	}
 	return set

@@ -33,6 +33,23 @@ type LST struct {
 	head *nn.Linear
 	// inProj maps the embedding into the side stream.
 	inProj *nn.Linear
+
+	// params caches the Params slice — the parameter set is fixed at
+	// construction, and Step asks for it every iteration.
+	params []nn.NamedParam
+	// ones caches the constant broadcast helpers per row count (the column
+	// counts are fixed by the side width). Constants are graph-free and
+	// immutable, so reusing them across iterations is safe and saves three
+	// tensor allocations per rung per step.
+	ones map[int]*onesCache
+}
+
+// onesCache holds the all-ones constants used to broadcast a scalar gate
+// over a (rows, side) activation.
+type onesCache struct {
+	full *ag.Value // (rows, side)
+	col  *ag.Value // (rows, 1)
+	row  *ag.Value // (1, side)
 }
 
 // NewLST builds a ladder side network over a frozen backbone. The caller
@@ -60,8 +77,12 @@ func NewLST(m *nn.Model, g *tensor.RNG, reduction int) *LST {
 	return l
 }
 
-// Params implements nn.Module: only side-network parameters.
+// Params implements nn.Module: only side-network parameters. The slice is
+// built once and cached; callers must not append to or reorder it.
 func (l *LST) Params() []nn.NamedParam {
+	if l.params != nil {
+		return l.params
+	}
 	var ps []nn.NamedParam
 	ps = append(ps, nn.NamedParam{Name: "lst.in.w", Value: l.inProj.W})
 	for i := range l.downs {
@@ -71,6 +92,7 @@ func (l *LST) Params() []nn.NamedParam {
 	}
 	ps = append(ps, nn.NamedParam{Name: "lst.norm.gain", Value: l.norm.Gain})
 	ps = append(ps, nn.NamedParam{Name: "lst.head.w", Value: l.head.W})
+	l.params = ps
 	return ps
 }
 
@@ -98,18 +120,35 @@ func (l *LST) Logits(batch [][]int) *ag.Value {
 		rung := l.downs[i].Forward(x.Detach())
 		// gated fusion: s = g·s + (1−g)·rung, then a learned mixer + SiLU.
 		g := l.gates[i]
-		gb := broadcastScalar(g, s.Shape()[0], s.Shape()[1])
-		one := ag.Const(tensor.Ones(s.Shape()[0], s.Shape()[1]))
-		s = ag.Add(ag.Mul(gb, s), ag.Mul(ag.Sub(one, gb), rung))
+		oc := l.onesFor(s.Shape()[0])
+		gb := broadcastScalar(g, oc.col, oc.row)
+		s = ag.Add(ag.Mul(gb, s), ag.Mul(ag.Sub(oc.full, gb), rung))
 		s = ag.Add(s, ag.SiLU(l.mixers[i].Forward(s)))
 	}
 	return l.head.Forward(l.norm.Forward(s))
 }
 
-// broadcastScalar expands a 1-element parameter to a (rows, cols) value so
-// it can gate a full activation tensor; gradients sum back into the scalar
-// through the two matmuls.
-func broadcastScalar(s *ag.Value, rows, cols int) *ag.Value {
-	col := ag.MatMul(ag.Const(tensor.Ones(rows, 1)), ag.Reshape(s, 1, 1)) // (rows,1)
-	return ag.MatMul(col, ag.Const(tensor.Ones(1, cols)))                 // (rows,cols)
+// onesFor returns the cached broadcast constants for the given row count.
+func (l *LST) onesFor(rows int) *onesCache {
+	if oc, ok := l.ones[rows]; ok {
+		return oc
+	}
+	oc := &onesCache{
+		full: ag.Const(tensor.Ones(rows, l.sideDim)),
+		col:  ag.Const(tensor.Ones(rows, 1)),
+		row:  ag.Const(tensor.Ones(1, l.sideDim)),
+	}
+	if l.ones == nil {
+		l.ones = map[int]*onesCache{}
+	}
+	l.ones[rows] = oc
+	return oc
+}
+
+// broadcastScalar expands a 1-element parameter to a (rows, cols) value
+// using all-ones constants onesCol (rows,1) and onesRow (1,cols); gradients
+// sum back into the scalar through the two matmuls.
+func broadcastScalar(s *ag.Value, onesCol, onesRow *ag.Value) *ag.Value {
+	col := ag.MatMul(onesCol, ag.Reshape(s, 1, 1)) // (rows,1)
+	return ag.MatMul(col, onesRow)                 // (rows,cols)
 }

@@ -105,7 +105,7 @@ func TestLSTValidation(t *testing.T) {
 
 func TestBroadcastScalarGradient(t *testing.T) {
 	s := ag.Param(tensor.Scalar(0.5))
-	b := broadcastScalar(s, 3, 4)
+	b := broadcastScalar(s, ag.Const(tensor.Ones(3, 1)), ag.Const(tensor.Ones(1, 4)))
 	if b.Data.Rows() != 3 || b.Data.Cols() != 4 {
 		t.Fatalf("broadcast shape %v", b.Data.Shape)
 	}

@@ -99,6 +99,10 @@ type Tuner struct {
 	// visitPlan caches the deterministic window-top sequence for the
 	// sensitivity strategy.
 	visitPlan []int
+	// winParams caches each window's trainable-parameter slice, keyed by
+	// window top (lo and the with-final flag are functions of hi), so Step
+	// does not rebuild it every iteration.
+	winParams map[int][]nn.NamedParam
 }
 
 // NewTuner validates the configuration and returns a tuner.
@@ -204,24 +208,34 @@ func sensitivityPlan(importance []float64, windowSize int) []int {
 // in the window, the exit head at hi, and — when the window tops out at
 // the last block — the final norm and LM head, so the model's primary
 // output keeps pace with the tuned exits and contributes usefully to the
-// vote.
+// vote. The parameter slice is prebuilt by Tuner.windowParams and cached
+// across iterations.
 type windowModule struct {
-	model     *nn.Model
-	lo, hi    int
-	withFinal bool
+	ps []nn.NamedParam
 }
 
 // Params implements nn.Module over the window's trainable set.
-func (w windowModule) Params() []nn.NamedParam {
+func (w windowModule) Params() []nn.NamedParam { return w.ps }
+
+// windowParams returns (building and caching on first use) the trainable
+// set for the window topping at hi.
+func (t *Tuner) windowParams(lo, hi int, withFinal bool) []nn.NamedParam {
+	if ps, ok := t.winParams[hi]; ok {
+		return ps
+	}
 	var ps []nn.NamedParam
-	for i := w.lo; i <= w.hi; i++ {
-		ps = append(ps, w.model.Blocks[i].Params()...)
+	for i := lo; i <= hi; i++ {
+		ps = append(ps, t.Model.Blocks[i].Params()...)
 	}
-	ps = append(ps, w.model.Exits[w.hi].Params()...)
-	if w.withFinal {
-		ps = append(ps, w.model.Norm.Params()...)
-		ps = append(ps, w.model.LMHead.Params()...)
+	ps = append(ps, t.Model.Exits[hi].Params()...)
+	if withFinal {
+		ps = append(ps, t.Model.Norm.Params()...)
+		ps = append(ps, t.Model.LMHead.Params()...)
 	}
+	if t.winParams == nil {
+		t.winParams = map[int][]nn.NamedParam{}
+	}
+	t.winParams[hi] = ps
 	return ps
 }
 
@@ -270,7 +284,7 @@ func (t *Tuner) Step(tr *train.Trainer, inputs [][]int, targets []int) (loss flo
 	fwd.End()
 
 	upd := step.Child("adapt.update")
-	loss = tr.Step(windowModule{model: m, lo: lo, hi: hi, withFinal: last}, ce)
+	loss = tr.Step(windowModule{ps: t.windowParams(lo, hi, last)}, ce)
 	upd.End()
 
 	if obs != nil {

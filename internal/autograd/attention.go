@@ -28,13 +28,15 @@ func CausalAttention(q, k, v *Value, batch, seqLen, nHeads int) *Value {
 	hd := c / nHeads
 	scale := float32(1 / math.Sqrt(float64(hd)))
 
-	out := tensor.New(rows, c)
-	// probs[b*nHeads+h] is the (T, T) attention matrix for that batch/head.
+	tape := anyGrad(q, k, v)
+	out, owned := outFor(tape, rows, c)
+	// probs[b*nHeads+h] is the (T, T) attention matrix for that batch/head,
+	// retained for the backward pass (which releases pooled ones).
 	probs := make([]*tensor.Tensor, batch*nHeads)
 
 	for b := 0; b < batch; b++ {
 		for h := 0; h < nHeads; h++ {
-			p := tensor.New(seqLen, seqLen)
+			p, _ := outFor(tape, seqLen, seqLen)
 			probs[b*nHeads+h] = p
 			for t := 0; t < seqLen; t++ {
 				qRow := q.Data.Row(b*seqLen + t)[h*hd : (h+1)*hd]
@@ -73,16 +75,16 @@ func CausalAttention(q, k, v *Value, batch, seqLen, nHeads int) *Value {
 		}
 	}
 
-	return newOp(out, func(o *Value) {
+	node := newOp(out, func(o *Value) {
 		var dQ, dK, dV *tensor.Tensor
 		if q.RequiresGrad {
-			dQ = tensor.New(rows, c)
+			dQ = scratch(rows, c)
 		}
 		if k.RequiresGrad {
-			dK = tensor.New(rows, c)
+			dK = scratch(rows, c)
 		}
 		if v.RequiresGrad {
-			dV = tensor.New(rows, c)
+			dV = scratch(rows, c)
 		}
 		dP := make([]float32, seqLen)
 		for b := 0; b < batch; b++ {
@@ -134,12 +136,21 @@ func CausalAttention(q, k, v *Value, batch, seqLen, nHeads int) *Value {
 		}
 		if dQ != nil {
 			q.accumulate(dQ)
+			putScratch(dQ)
 		}
 		if dK != nil {
 			k.accumulate(dK)
+			putScratch(dK)
 		}
 		if dV != nil {
 			v.accumulate(dV)
+			putScratch(dV)
+		}
+		// The attention matrices are dead once the input gradients exist.
+		for _, p := range probs {
+			putScratch(p)
 		}
 	}, q, k, v)
+	node.dataOwned = owned
+	return node
 }

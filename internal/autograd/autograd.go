@@ -35,6 +35,12 @@ type Value struct {
 
 	parents  []*Value
 	backward func()
+
+	// dataOwned / gradOwned mark buffers drawn from the active arena (see
+	// pool.go); ReleaseTape and the backward loop return them to the pool
+	// once the training step can no longer read them.
+	dataOwned bool
+	gradOwned bool
 }
 
 // Param wraps t as a trainable leaf (RequiresGrad = true).
@@ -50,16 +56,30 @@ func (v *Value) Detach() *Value { return Const(v.Data) }
 // Shape returns the shape of the underlying tensor.
 func (v *Value) Shape() []int { return v.Data.Shape }
 
-// InitGrad ensures v.Grad is allocated (zero-filled) and returns it.
+// InitGrad ensures v.Grad is allocated (zero-filled) and returns it. With
+// an arena installed the buffer comes from the pool and is returned by
+// ZeroGrad (leaves) or the backward loop (interior nodes).
 func (v *Value) InitGrad() *tensor.Tensor {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Shape...)
+		if p := activePool.Load(); p != nil {
+			v.Grad = p.Get(v.Data.Shape...)
+			v.gradOwned = true
+		} else {
+			v.Grad = tensor.New(v.Data.Shape...)
+		}
 	}
 	return v.Grad
 }
 
-// ZeroGrad drops the accumulated gradient.
-func (v *Value) ZeroGrad() { v.Grad = nil }
+// ZeroGrad drops the accumulated gradient, returning a pooled buffer to
+// the arena. The caller must not retain an alias of v.Grad.
+func (v *Value) ZeroGrad() {
+	if v.gradOwned {
+		activePool.Load().Put(v.Grad)
+		v.gradOwned = false
+	}
+	v.Grad = nil
+}
 
 // accumulate adds g into v.Grad (allocating on first use). Constant values
 // ignore gradients entirely.
@@ -110,6 +130,15 @@ func (v *Value) BackwardWithGrad(seed *tensor.Tensor) {
 		n := order[i]
 		if n.backward != nil && n.Grad != nil {
 			n.backward()
+			// Reverse-topological order means every consumer of n's
+			// gradient has already run, so an interior node's grad is dead
+			// the moment its own closure finishes — return it to the arena
+			// instead of carrying it to the end of the step.
+			if n.gradOwned {
+				activePool.Load().Put(n.Grad)
+				n.gradOwned = false
+				n.Grad = nil
+			}
 		}
 	}
 }

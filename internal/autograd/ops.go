@@ -9,74 +9,137 @@ import (
 
 // Add returns a + b (elementwise, equal shapes).
 func Add(a, b *Value) *Value {
-	out := tensor.Add(a.Data, b.Data)
-	return newOp(out, func(o *Value) {
+	out, owned := outFor(anyGrad(a, b), a.Data.Shape...)
+	out.CopyFrom(a.Data)
+	out.AddInPlace(b.Data)
+	v := newOp(out, func(o *Value) {
 		a.accumulate(o.Grad)
 		b.accumulate(o.Grad)
 	}, a, b)
+	v.dataOwned = owned
+	return v
 }
 
 // Sub returns a - b (elementwise, equal shapes).
 func Sub(a, b *Value) *Value {
-	out := tensor.Sub(a.Data, b.Data)
-	return newOp(out, func(o *Value) {
+	out, owned := outFor(anyGrad(a, b), a.Data.Shape...)
+	out.CopyFrom(a.Data)
+	out.SubInPlace(b.Data)
+	v := newOp(out, func(o *Value) {
 		a.accumulate(o.Grad)
 		if b.RequiresGrad {
-			b.accumulate(tensor.Scale(o.Grad, -1))
+			g := scratch(o.Grad.Shape...)
+			for i, gv := range o.Grad.Data {
+				g.Data[i] = -gv
+			}
+			b.accumulate(g)
+			putScratch(g)
 		}
 	}, a, b)
+	v.dataOwned = owned
+	return v
 }
 
 // Mul returns a ⊙ b (Hadamard product, equal shapes).
 func Mul(a, b *Value) *Value {
-	out := tensor.Mul(a.Data, b.Data)
-	return newOp(out, func(o *Value) {
+	out, owned := outFor(anyGrad(a, b), a.Data.Shape...)
+	out.CopyFrom(a.Data)
+	out.MulInPlace(b.Data)
+	v := newOp(out, func(o *Value) {
 		if a.RequiresGrad {
-			a.accumulate(tensor.Mul(o.Grad, b.Data))
+			g := scratch(o.Grad.Shape...)
+			for i, gv := range o.Grad.Data {
+				g.Data[i] = gv * b.Data.Data[i]
+			}
+			a.accumulate(g)
+			putScratch(g)
 		}
 		if b.RequiresGrad {
-			b.accumulate(tensor.Mul(o.Grad, a.Data))
+			g := scratch(o.Grad.Shape...)
+			for i, gv := range o.Grad.Data {
+				g.Data[i] = gv * a.Data.Data[i]
+			}
+			b.accumulate(g)
+			putScratch(g)
 		}
 	}, a, b)
+	v.dataOwned = owned
+	return v
 }
 
 // Scale returns s·a.
 func Scale(a *Value, s float32) *Value {
-	out := tensor.Scale(a.Data, s)
-	return newOp(out, func(o *Value) {
-		a.accumulate(tensor.Scale(o.Grad, s))
+	out, owned := outFor(a.RequiresGrad, a.Data.Shape...)
+	out.CopyFrom(a.Data)
+	out.ScaleInPlace(s)
+	v := newOp(out, func(o *Value) {
+		g := scratch(o.Grad.Shape...)
+		for i, gv := range o.Grad.Data {
+			g.Data[i] = gv * s
+		}
+		a.accumulate(g)
+		putScratch(g)
 	}, a)
+	v.dataOwned = owned
+	return v
 }
 
 // MatMul returns a × b for rank-2 values.
 func MatMul(a, b *Value) *Value {
-	out := tensor.MatMul(a.Data, b.Data)
-	return newOp(out, func(o *Value) {
+	m, k := a.Data.Rows(), a.Data.Cols()
+	k2, n := b.Data.Rows(), b.Data.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("autograd: MatMul inner dimension mismatch %v × %v", a.Data.Shape, b.Data.Shape))
+	}
+	out, owned := outFor(anyGrad(a, b), m, n)
+	tensor.MatMulInto(out, a.Data, b.Data)
+	v := newOp(out, func(o *Value) {
 		if a.RequiresGrad {
-			// dA = dY × Bᵀ (MatMulT takes B as stored and transposes it)
-			a.accumulate(tensor.MatMulT(o.Grad, b.Data))
+			// dA = dY × Bᵀ (MatMulTInto takes B as stored and transposes it)
+			g := scratch(m, k)
+			tensor.MatMulTInto(g, o.Grad, b.Data)
+			a.accumulate(g)
+			putScratch(g)
 		}
 		if b.RequiresGrad {
 			// dB = Aᵀ × dY
-			b.accumulate(tensor.TMatMul(a.Data, o.Grad))
+			g := scratch(k, n)
+			tensor.TMatMulInto(g, a.Data, o.Grad)
+			b.accumulate(g)
+			putScratch(g)
 		}
 	}, a, b)
+	v.dataOwned = owned
+	return v
 }
 
 // AddBias adds a rank-1 bias to every row of rank-2 x.
 func AddBias(x, bias *Value) *Value {
-	out := x.Data.Clone()
+	out, owned := outFor(anyGrad(x, bias), x.Data.Shape...)
+	out.CopyFrom(x.Data)
 	out.AddRowBroadcast(bias.Data)
-	return newOp(out, func(o *Value) {
+	v := newOp(out, func(o *Value) {
 		x.accumulate(o.Grad)
 		if bias.RequiresGrad {
-			bias.accumulate(o.Grad.SumRows())
+			r, c := o.Grad.Rows(), o.Grad.Cols()
+			g := scratch(c)
+			for i := 0; i < r; i++ {
+				row := o.Grad.Row(i)
+				for j, gv := range row {
+					g.Data[j] += gv
+				}
+			}
+			bias.accumulate(g)
+			putScratch(g)
 		}
 	}, x, bias)
+	v.dataOwned = owned
+	return v
 }
 
 // Reshape returns a view of x with a new shape; gradients pass through
-// unchanged (reshaped back).
+// unchanged (reshaped back). The output aliases x's storage, so it is
+// never arena-owned — the node that allocated the buffer releases it.
 func Reshape(x *Value, shape ...int) *Value {
 	out := x.Data.Reshape(shape...)
 	return newOp(out, func(o *Value) {
@@ -86,48 +149,61 @@ func Reshape(x *Value, shape ...int) *Value {
 
 // ReLU applies max(0, x) elementwise.
 func ReLU(x *Value) *Value {
-	out := tensor.Apply(x.Data, func(v float32) float32 {
+	out, owned := outFor(x.RequiresGrad, x.Data.Shape...)
+	for i, v := range x.Data.Data {
 		if v > 0 {
-			return v
+			out.Data[i] = v
 		}
-		return 0
-	})
-	return newOp(out, func(o *Value) {
-		g := tensor.New(x.Data.Shape...)
-		for i, v := range x.Data.Data {
-			if v > 0 {
+	}
+	v := newOp(out, func(o *Value) {
+		g := scratch(x.Data.Shape...)
+		for i, xv := range x.Data.Data {
+			if xv > 0 {
 				g.Data[i] = o.Grad.Data[i]
 			}
 		}
 		x.accumulate(g)
+		putScratch(g)
 	}, x)
+	v.dataOwned = owned
+	return v
 }
 
 // SiLU applies x·σ(x) elementwise (the activation used by LLaMA-style MLPs).
 func SiLU(x *Value) *Value {
-	out := tensor.Apply(x.Data, func(v float32) float32 {
-		return v * sigmoid(v)
-	})
-	return newOp(out, func(o *Value) {
-		g := tensor.New(x.Data.Shape...)
-		for i, v := range x.Data.Data {
-			s := sigmoid(v)
-			g.Data[i] = o.Grad.Data[i] * (s + v*s*(1-s))
+	out, owned := outFor(x.RequiresGrad, x.Data.Shape...)
+	for i, v := range x.Data.Data {
+		out.Data[i] = v * sigmoid(v)
+	}
+	v := newOp(out, func(o *Value) {
+		g := scratch(x.Data.Shape...)
+		for i, xv := range x.Data.Data {
+			s := sigmoid(xv)
+			g.Data[i] = o.Grad.Data[i] * (s + xv*s*(1-s))
 		}
 		x.accumulate(g)
+		putScratch(g)
 	}, x)
+	v.dataOwned = owned
+	return v
 }
 
 // GELU applies the tanh-approximated Gaussian error linear unit.
 func GELU(x *Value) *Value {
-	out := tensor.Apply(x.Data, geluFwd)
-	return newOp(out, func(o *Value) {
-		g := tensor.New(x.Data.Shape...)
-		for i, v := range x.Data.Data {
-			g.Data[i] = o.Grad.Data[i] * geluGrad(v)
+	out, owned := outFor(x.RequiresGrad, x.Data.Shape...)
+	for i, v := range x.Data.Data {
+		out.Data[i] = geluFwd(v)
+	}
+	v := newOp(out, func(o *Value) {
+		g := scratch(x.Data.Shape...)
+		for i, xv := range x.Data.Data {
+			g.Data[i] = o.Grad.Data[i] * geluGrad(xv)
 		}
 		x.accumulate(g)
+		putScratch(g)
 	}, x)
+	v.dataOwned = owned
+	return v
 }
 
 const geluC = 0.7978845608028654 // sqrt(2/π)
@@ -156,7 +232,7 @@ func RMSNorm(x, gain *Value, eps float32) *Value {
 	if gain.Data.Rank() != 1 || gain.Data.Shape[0] != c {
 		panic(fmt.Sprintf("autograd: RMSNorm gain %v incompatible with x %v", gain.Data.Shape, x.Data.Shape))
 	}
-	out := tensor.New(r, c)
+	out, owned := outFor(anyGrad(x, gain), r, c)
 	invRMS := make([]float32, r)
 	for i := 0; i < r; i++ {
 		row := x.Data.Row(i)
@@ -171,14 +247,14 @@ func RMSNorm(x, gain *Value, eps float32) *Value {
 			outRow[j] = v * inv * gain.Data.Data[j]
 		}
 	}
-	return newOp(out, func(o *Value) {
+	v := newOp(out, func(o *Value) {
 		var dGain *tensor.Tensor
 		if gain.RequiresGrad {
-			dGain = tensor.New(c)
+			dGain = scratch(c)
 		}
 		var dX *tensor.Tensor
 		if x.RequiresGrad {
-			dX = tensor.New(r, c)
+			dX = scratch(r, c)
 		}
 		for i := 0; i < r; i++ {
 			row := x.Data.Row(i)
@@ -205,19 +281,24 @@ func RMSNorm(x, gain *Value, eps float32) *Value {
 		}
 		if dX != nil {
 			x.accumulate(dX)
+			putScratch(dX)
 		}
 		if dGain != nil {
 			gain.accumulate(dGain)
+			putScratch(dGain)
 		}
 	}, x, gain)
+	v.dataOwned = owned
+	return v
 }
 
 // Softmax applies a numerically stable row-wise softmax to rank-2 x.
 func Softmax(x *Value) *Value {
-	out := softmaxRows(x.Data)
-	return newOp(out, func(o *Value) {
+	out, owned := outFor(x.RequiresGrad, x.Data.Rows(), x.Data.Cols())
+	softmaxRowsInto(out, x.Data)
+	v := newOp(out, func(o *Value) {
 		r, c := out.Rows(), out.Cols()
-		dX := tensor.New(r, c)
+		dX := scratch(r, c)
 		for i := 0; i < r; i++ {
 			p := out.Row(i)
 			g := o.Grad.Row(i)
@@ -231,13 +312,23 @@ func Softmax(x *Value) *Value {
 			}
 		}
 		x.accumulate(dX)
+		putScratch(dX)
 	}, x)
+	v.dataOwned = owned
+	return v
 }
 
 // softmaxRows computes a row-wise stable softmax into a new tensor.
 func softmaxRows(t *tensor.Tensor) *tensor.Tensor {
-	r, c := t.Rows(), t.Cols()
-	out := tensor.New(r, c)
+	out := tensor.New(t.Rows(), t.Cols())
+	softmaxRowsInto(out, t)
+	return out
+}
+
+// softmaxRowsInto computes a row-wise stable softmax of t into out,
+// overwriting every element.
+func softmaxRowsInto(out, t *tensor.Tensor) {
+	r := t.Rows()
 	for i := 0; i < r; i++ {
 		row := t.Row(i)
 		m := row[0]
@@ -258,22 +349,21 @@ func softmaxRows(t *tensor.Tensor) *tensor.Tensor {
 			outRow[j] *= inv
 		}
 	}
-	return out
 }
 
 // Embedding gathers rows of weight (vocab, dim) by ids, producing
 // (len(ids), dim). The backward pass scatter-adds into the weight gradient.
 func Embedding(weight *Value, ids []int) *Value {
 	vocab, dim := weight.Data.Rows(), weight.Data.Cols()
-	out := tensor.New(len(ids), dim)
+	out, owned := outFor(weight.RequiresGrad, len(ids), dim)
 	for i, id := range ids {
 		if id < 0 || id >= vocab {
 			panic(fmt.Sprintf("autograd: Embedding id %d out of range [0,%d)", id, vocab))
 		}
 		copy(out.Row(i), weight.Data.Row(id))
 	}
-	return newOp(out, func(o *Value) {
-		dW := tensor.New(vocab, dim)
+	v := newOp(out, func(o *Value) {
+		dW := scratch(vocab, dim)
 		for i, id := range ids {
 			row := dW.Row(id)
 			g := o.Grad.Row(i)
@@ -282,7 +372,10 @@ func Embedding(weight *Value, ids []int) *Value {
 			}
 		}
 		weight.accumulate(dW)
+		putScratch(dW)
 	}, weight)
+	v.dataOwned = owned
+	return v
 }
 
 // CrossEntropy computes the mean token-level cross-entropy between logits
@@ -294,7 +387,10 @@ func CrossEntropy(logits *Value, targets []int, ignoreIndex int) *Value {
 	if len(targets) != n {
 		panic(fmt.Sprintf("autograd: CrossEntropy %d targets for %d rows", len(targets), n))
 	}
-	probs := softmaxRows(logits.Data)
+	// probs is retained for the backward pass; pooled when tape-recorded
+	// (the closure releases it after producing the logit gradient).
+	probs, _ := outFor(logits.RequiresGrad, n, vocab)
+	softmaxRowsInto(probs, logits.Data)
 	var loss float64
 	count := 0
 	for i, t := range targets {
@@ -317,7 +413,7 @@ func CrossEntropy(logits *Value, targets []int, ignoreIndex int) *Value {
 	out := tensor.Scalar(float32(loss / float64(count)))
 	return newOp(out, func(o *Value) {
 		scale := o.Grad.Data[0] / float32(count)
-		dL := tensor.New(n, vocab)
+		dL := scratch(n, vocab)
 		for i, t := range targets {
 			if t == ignoreIndex {
 				continue
@@ -330,6 +426,8 @@ func CrossEntropy(logits *Value, targets []int, ignoreIndex int) *Value {
 			dst[t] -= scale
 		}
 		logits.accumulate(dL)
+		putScratch(dL)
+		putScratch(probs)
 	}, logits)
 }
 
@@ -337,8 +435,10 @@ func CrossEntropy(logits *Value, targets []int, ignoreIndex int) *Value {
 func Mean(x *Value) *Value {
 	out := tensor.Scalar(float32(x.Data.Mean()))
 	return newOp(out, func(o *Value) {
-		g := tensor.Full(o.Grad.Data[0]/float32(x.Data.Len()), x.Data.Shape...)
+		g := scratch(x.Data.Shape...)
+		g.Fill(o.Grad.Data[0] / float32(x.Data.Len()))
 		x.accumulate(g)
+		putScratch(g)
 	}, x)
 }
 
@@ -346,7 +446,9 @@ func Mean(x *Value) *Value {
 func Sum(x *Value) *Value {
 	out := tensor.Scalar(float32(x.Data.Sum()))
 	return newOp(out, func(o *Value) {
-		g := tensor.Full(o.Grad.Data[0], x.Data.Shape...)
+		g := scratch(x.Data.Shape...)
+		g.Fill(o.Grad.Data[0])
 		x.accumulate(g)
+		putScratch(g)
 	}, x)
 }

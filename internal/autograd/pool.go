@@ -1,0 +1,98 @@
+// Arena plumbing for the tape. With a pool installed (SetPool), every
+// tape-recorded op draws its forward output from the arena, gradients are
+// pooled by InitGrad, backward closures take their scratch from the arena
+// and return it as soon as accumulate has consumed it, and ReleaseTape
+// hands a fully-consumed graph's buffers back at the end of a training
+// step. Constant-folded computation — frozen layers, eval forwards — never
+// touches the pool: nothing ever releases those buffers, so pooling them
+// would only drain the free lists.
+//
+// The pool is an optimisation only: Pool.Get returns zero-filled buffers,
+// byte-for-byte equivalent to fresh allocation, so results are identical
+// with the pool on or off.
+
+package autograd
+
+import (
+	"sync/atomic"
+
+	"edgellm/internal/tensor"
+)
+
+// activePool is the process-wide arena; nil means plain allocation.
+var activePool atomic.Pointer[tensor.Pool]
+
+// SetPool installs p as the arena behind all tape allocations. Passing nil
+// disables pooling. Safe to call concurrently with training, but intended
+// to be set once at startup.
+func SetPool(p *tensor.Pool) { activePool.Store(p) }
+
+// ActivePool returns the installed arena, or nil when pooling is disabled.
+func ActivePool() *tensor.Pool { return activePool.Load() }
+
+// anyGrad reports whether an op over these parents would be tape-recorded.
+func anyGrad(vs ...*Value) bool {
+	for _, v := range vs {
+		if v != nil && v.RequiresGrad {
+			return true
+		}
+	}
+	return false
+}
+
+// outFor returns a zero-filled output buffer for an op, plus whether the
+// arena owns it. Tape-recorded outputs draw from the pool (ReleaseTape
+// returns them after the step); constant-folded outputs use the plain
+// allocator since nothing would ever release them.
+func outFor(tape bool, shape ...int) (*tensor.Tensor, bool) {
+	if tape {
+		if p := activePool.Load(); p != nil {
+			return p.Get(shape...), true
+		}
+	}
+	return tensor.New(shape...), false
+}
+
+// scratch returns a zero-filled pooled temporary for backward closures
+// (which only exist on tape-recorded nodes). Pair with putScratch once the
+// contents have been consumed. Falls back to plain allocation with no pool.
+func scratch(shape ...int) *tensor.Tensor { return activePool.Load().Get(shape...) }
+
+// putScratch returns a backward temporary to the arena. The caller must
+// hold the only reference (accumulate copies, so grad temps qualify).
+func putScratch(t *tensor.Tensor) { activePool.Load().Put(t) }
+
+// ReleaseTape dismantles the graph reachable from root after a training
+// step has fully consumed it: interior nodes hand their arena-owned
+// activation and gradient buffers back to the pool and drop their graph
+// links so the structs are collectable. Leaves — parameters — keep Data
+// and Grad untouched.
+//
+// Interior Data pointers are nilled even when not arena-owned, so an
+// accidental use-after-release fails fast on a nil dereference instead of
+// silently reading a recycled buffer. Only release graphs whose values are
+// no longer referenced anywhere — the trainer does this with the loss
+// graph at the end of each step.
+func ReleaseTape(root *Value) {
+	if root == nil || !root.RequiresGrad {
+		return
+	}
+	p := activePool.Load()
+	for _, n := range topoSort(root) {
+		if n.backward == nil {
+			continue // leaf: parameters keep data and gradients
+		}
+		if n.dataOwned {
+			p.Put(n.Data)
+			n.dataOwned = false
+		}
+		if n.gradOwned {
+			p.Put(n.Grad)
+			n.gradOwned = false
+		}
+		n.Data = nil
+		n.Grad = nil
+		n.parents = nil
+		n.backward = nil
+	}
+}

@@ -25,6 +25,9 @@ type Manifest struct {
 	GOARCH      string    `json:"goarch"`
 	NumCPU      int       `json:"num_cpu"`
 	Parallel    int       `json:"parallel,omitempty"`
+	// Pool records whether the tensor arena was enabled ("on"/"off"),
+	// empty for tools that predate or don't expose the knob.
+	Pool string `json:"pool,omitempty"`
 }
 
 // NewManifest builds a manifest for a run of `tool` with the given root

@@ -6,13 +6,44 @@ import (
 	"sync"
 )
 
-// blockSize is the cache-blocking tile edge used by MatMul. 64 keeps three
-// float32 tiles (~48KB) inside a typical L1+L2 working set.
+// blockSize is the cache-blocking tile edge used by the matmul family. 64
+// keeps three float32 tiles (~48KB) inside a typical L1+L2 working set.
 const blockSize = 64
 
-// parallelThreshold is the MAC count above which MatMulInto fans out row
-// bands to worker goroutines. Below it the goroutine overhead dominates.
+// parallelThreshold is the MAC count above which the Into kernels fan out
+// row bands to worker goroutines. Below it the goroutine overhead dominates.
 const parallelThreshold = 1 << 20
+
+// bandRows splits the output-row range [0, m) into contiguous bands and
+// runs fn(lo, hi) for each, in parallel when the kernel is large enough.
+// Each band owns a disjoint set of output rows and every per-row
+// accumulation order is independent of the banding, so results are
+// byte-identical at any GOMAXPROCS — the determinism guarantee all three
+// matmul kernels share.
+func bandRows(m, macs int, fn func(lo, hi int)) {
+	workers := 1
+	if macs >= parallelThreshold {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > m {
+			workers = m
+		}
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += band {
+		hi := min(lo+band, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // MatMul returns a × b for rank-2 tensors, (m,k)×(k,n) → (m,n).
 //
@@ -41,30 +72,7 @@ func MatMulInto(out, a, b *Tensor) {
 	for i := range out.Data {
 		out.Data[i] = 0
 	}
-	// Rows are independent, so the row range can be banded across
-	// goroutines without changing results (each band owns its output rows).
-	workers := 1
-	if macs := m * n * k; macs >= parallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > m {
-			workers = m
-		}
-	}
-	if workers <= 1 {
-		matmulRows(out, a, b, 0, m)
-		return
-	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += band {
-		hi := min(lo+band, m)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	bandRows(m, m*n*k, func(lo, hi int) { matmulRows(out, a, b, lo, hi) })
 }
 
 // matmulRows computes out rows [rowLo, rowHi) of a × b with cache blocking.
@@ -96,66 +104,134 @@ func matmulRows(out, a, b *Tensor, rowLo, rowHi int) {
 // one for gradient computation (dX = dY × Wᵀ) and for weight matrices
 // stored output-major.
 func MatMulT(a, bT *Tensor) *Tensor {
+	out := New(a.Rows(), bT.Rows())
+	MatMulTInto(out, a, bT)
+	return out
+}
+
+// MatMulTInto computes out = a × bᵀ, reusing out's storage. out must have
+// shape (a.Rows(), bT.Rows()) and is fully overwritten (no need to zero it
+// first). Each output element is a single k-ascending float32 dot product,
+// so the result is independent of blocking and banding.
+func MatMulTInto(out, a, bT *Tensor) {
 	m, k := a.Rows(), a.Cols()
 	n, k2 := bT.Rows(), bT.Cols()
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v × %vᵀ", a.Shape, bT.Shape))
+	if k != k2 || out.Rows() != m || out.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulTInto shape mismatch out %v = %v × %vᵀ", out.Shape, a.Shape, bT.Shape))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		aRow := a.Data[i*k : (i+1)*k]
-		outRow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bRow := bT.Data[j*k : (j+1)*k]
-			var s float32
-			for kk, av := range aRow {
-				s += av * bRow[kk]
+	bandRows(m, m*n*k, func(lo, hi int) { matmulTRows(out, a, bT, lo, hi) })
+}
+
+// matmulTRows computes out rows [rowLo, rowHi) of a × bᵀ. Both operands are
+// read row-contiguously; i/j tiles keep the active a rows and bT rows warm
+// while k runs full-length so the accumulation order never changes.
+func matmulTRows(out, a, bT *Tensor, rowLo, rowHi int) {
+	k, n := a.Cols(), bT.Rows()
+	for i0 := rowLo; i0 < rowHi; i0 += blockSize {
+		iMax := min(i0+blockSize, rowHi)
+		for j0 := 0; j0 < n; j0 += blockSize {
+			jMax := min(j0+blockSize, n)
+			for i := i0; i < iMax; i++ {
+				aRow := a.Data[i*k : (i+1)*k]
+				outRow := out.Data[i*n : (i+1)*n]
+				for j := j0; j < jMax; j++ {
+					bRow := bT.Data[j*k : (j+1)*k]
+					var s float32
+					for kk, av := range aRow {
+						s += av * bRow[kk]
+					}
+					outRow[j] = s
+				}
 			}
-			outRow[j] = s
 		}
 	}
-	return out
 }
 
 // TMatMul returns aᵀ × b, (k,m)×(k,n) → (m,n). This is the natural layout
 // for weight gradients (dW = Xᵀ × dY).
 func TMatMul(aT, b *Tensor) *Tensor {
+	out := New(aT.Cols(), b.Cols())
+	TMatMulInto(out, aT, b)
+	return out
+}
+
+// TMatMulInto computes out = aᵀ × b, reusing out's storage. out must have
+// shape (aT.Cols(), b.Cols()) and is overwritten. Every output element
+// accumulates its k terms in ascending-k order regardless of blocking or
+// banding, so results are byte-identical at any GOMAXPROCS.
+func TMatMulInto(out, aT, b *Tensor) {
 	k, m := aT.Rows(), aT.Cols()
 	k2, n := b.Rows(), b.Cols()
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: TMatMul inner dimension mismatch %vᵀ × %v", aT.Shape, b.Shape))
+	if k != k2 || out.Rows() != m || out.Cols() != n {
+		panic(fmt.Sprintf("tensor: TMatMulInto shape mismatch out %v = %vᵀ × %v", out.Shape, aT.Shape, b.Shape))
 	}
-	out := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		aRow := aT.Data[kk*m : (kk+1)*m]
-		bRow := b.Data[kk*n : (kk+1)*n]
-		for i, av := range aRow {
-			if av == 0 {
-				continue
-			}
-			outRow := out.Data[i*n : (i+1)*n]
-			for j, bv := range bRow {
-				outRow[j] += av * bv
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	bandRows(m, m*n*k, func(lo, hi int) { tmatmulRows(out, aT, b, lo, hi) })
+}
+
+// tmatmulRows computes out rows [rowLo, rowHi) of aᵀ × b. The k loop is
+// blocked so the band's output rows are revisited while the touched b rows
+// are still cache-resident; within a block the kk-major inner ordering is a
+// skip-zero scaled row accumulation, like matmulRows.
+func tmatmulRows(out, aT, b *Tensor, rowLo, rowHi int) {
+	k, m, n := aT.Rows(), aT.Cols(), b.Cols()
+	for i0 := rowLo; i0 < rowHi; i0 += blockSize {
+		iMax := min(i0+blockSize, rowHi)
+		for k0 := 0; k0 < k; k0 += blockSize {
+			kMax := min(k0+blockSize, k)
+			for kk := k0; kk < kMax; kk++ {
+				aRow := aT.Data[kk*m : (kk+1)*m]
+				bRow := b.Data[kk*n : (kk+1)*n]
+				for i := i0; i < iMax; i++ {
+					av := aRow[i]
+					if av == 0 {
+						continue
+					}
+					outRow := out.Data[i*n : (i+1)*n]
+					for j, bv := range bRow {
+						outRow[j] += av * bv
+					}
+				}
 			}
 		}
 	}
-	return out
 }
 
 // Transpose returns the transpose of a rank-2 tensor.
 func Transpose(t *Tensor) *Tensor {
-	r, c := t.Rows(), t.Cols()
-	out := New(c, r)
-	for i := 0; i < r; i++ {
-		row := t.Row(i)
-		for j, v := range row {
-			out.Data[j*r+i] = v
-		}
-	}
+	out := New(t.Cols(), t.Rows())
+	TransposeInto(out, t)
 	return out
 }
 
+// TransposeInto computes out = tᵀ, reusing out's storage. out must have
+// shape (t.Cols(), t.Rows()) and is fully overwritten. The copy is tiled so
+// both the row-contiguous reads and the column-strided writes stay within a
+// cache-resident blockSize×blockSize tile.
+func TransposeInto(out, t *Tensor) {
+	r, c := t.Rows(), t.Cols()
+	if out.Rows() != c || out.Cols() != r {
+		panic(fmt.Sprintf("tensor: TransposeInto shape mismatch out %v = %vᵀ", out.Shape, t.Shape))
+	}
+	for i0 := 0; i0 < r; i0 += blockSize {
+		iMax := min(i0+blockSize, r)
+		for j0 := 0; j0 < c; j0 += blockSize {
+			jMax := min(j0+blockSize, c)
+			for i := i0; i < iMax; i++ {
+				row := t.Data[i*c : (i+1)*c]
+				for j := j0; j < jMax; j++ {
+					out.Data[j*r+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
 // MatVec returns a × x for a rank-2 a (m,k) and rank-1 x (k) → rank-1 (m).
+// Accumulation is float32, matching the matmul kernels, so replacing a
+// MatVec with an equivalent single-column matmul cannot change results.
 func MatVec(a, x *Tensor) *Tensor {
 	m, k := a.Rows(), a.Cols()
 	if x.Rank() != 1 || x.Shape[0] != k {
@@ -164,11 +240,11 @@ func MatVec(a, x *Tensor) *Tensor {
 	out := New(m)
 	for i := 0; i < m; i++ {
 		row := a.Row(i)
-		var s float64
+		var s float32
 		for kk, v := range row {
-			s += float64(v) * float64(x.Data[kk])
+			s += v * x.Data[kk]
 		}
-		out.Data[i] = float32(s)
+		out.Data[i] = s
 	}
 	return out
 }

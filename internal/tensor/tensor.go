@@ -4,9 +4,12 @@
 //
 // Tensors are row-major and of arbitrary rank, but the hot paths are rank-2
 // (matrices) because the transformer implementation flattens (batch, seq)
-// into the row dimension. Kernels accumulate in float64 where it is cheap to
-// do so, which keeps tiny-model training numerically stable without needing
-// a float64 tensor type.
+// into the row dimension. The matmul-family kernels (MatMul, MatMulT,
+// TMatMul, MatVec) all accumulate in float32 so swapping one kernel for an
+// equivalent one cannot change results; whole-tensor reductions (Sum, Mean,
+// Dot, Norm2) accumulate in float64 where the extra precision is cheap and
+// keeps tiny-model training numerically stable without a float64 tensor
+// type.
 package tensor
 
 import (

@@ -55,8 +55,14 @@ func CheckpointedStep(m *nn.Model, inputs [][]int, targets []int, segments int) 
 	lossVal := float64(loss.Data.Data[0])
 	loss.Backward()
 	upstream := headIn.Grad
+	releaseLoss(loss)
 
 	// --- segment-wise recompute backward, deepest first --------------------
+	// With an arena on, each segment's tape (and the boundary-gradient
+	// collector of the segment above, once its seed has been copied in) is
+	// returned to the pool as soon as it has been consumed, so peak pooled
+	// memory stays at one segment — matching the scheme's memory model.
+	src := headIn // the Value currently owning the upstream gradient
 	for s := segments - 1; s >= 0; s-- {
 		segIn := ag.Param(boundaries[s].Data)
 		segIn.RequiresGrad = true
@@ -66,10 +72,15 @@ func CheckpointedStep(m *nn.Model, inputs [][]int, targets []int, segments int) 
 		}
 		y.BackwardWithGrad(upstream)
 		upstream = segIn.Grad
+		src.ZeroGrad()
+		releaseLoss(y)
+		src = segIn
 	}
 
 	// --- embedding backward --------------------------------------------------
 	embed.BackwardWithGrad(upstream)
+	src.ZeroGrad()
+	releaseLoss(embed)
 	return lossVal
 }
 

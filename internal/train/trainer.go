@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 	"math"
+	"runtime/metrics"
 	"time"
 
 	ag "edgellm/internal/autograd"
@@ -79,6 +80,9 @@ type Trainer struct {
 	step int
 	// badStreak counts consecutive skipped (non-finite) steps.
 	badStreak int
+	// allocSample is the reusable runtime/metrics query behind the
+	// train.allocs_per_step metric (cheap, no stop-the-world).
+	allocSample [1]metrics.Sample
 }
 
 // NewTrainer wraps opt with base learning rate lr and clipping at clip.
@@ -125,11 +129,14 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
 	obs := obsv.Global()
 	var start time.Time
+	var allocs0 uint64
 	if obs != nil {
 		start = time.Now()
+		allocs0 = t.heapAllocObjects()
 	}
 	lossVal := float64(loss.Data.Data[0])
 	if !finite(lossVal) {
+		releaseLoss(loss)
 		t.skipBadStep(lossVal)
 		return lossVal
 	}
@@ -141,6 +148,7 @@ func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
 		gradNorm = globalNorm(params)
 		if !finite(gradNorm) {
 			nn.ZeroGrads(m)
+			releaseLoss(loss)
 			t.skipBadStep(lossVal)
 			return lossVal
 		}
@@ -153,11 +161,30 @@ func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
 	lr := t.BaseLR * float32(t.Sched(t.step))
 	t.Opt.Step(params, lr)
 	nn.ZeroGrads(m)
+	releaseLoss(loss)
 	t.step++
 	if obs != nil {
-		t.record(obs, start, gradNorm, clipped, lr)
+		t.record(obs, start, gradNorm, clipped, lr, allocs0)
 	}
 	return lossVal
+}
+
+// releaseLoss hands the consumed loss graph's buffers back to the arena.
+// Without a pool it is a no-op, preserving the historical behaviour that a
+// caller may keep reading the graph after Step.
+func releaseLoss(loss *ag.Value) {
+	if ag.ActivePool() != nil {
+		ag.ReleaseTape(loss)
+	}
+}
+
+// heapAllocObjects reads the cumulative heap allocation count.
+func (t *Trainer) heapAllocObjects() uint64 {
+	if t.allocSample[0].Name == "" {
+		t.allocSample[0].Name = "/gc/heap/allocs:objects"
+	}
+	metrics.Read(t.allocSample[:])
+	return t.allocSample[0].Value.Uint64()
 }
 
 // ApplyGrads clips and applies already-accumulated gradients (e.g. from
@@ -166,8 +193,10 @@ func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
 func (t *Trainer) ApplyGrads(m nn.Module) {
 	obs := obsv.Global()
 	var start time.Time
+	var allocs0 uint64
 	if obs != nil {
 		start = time.Now()
+		allocs0 = t.heapAllocObjects()
 	}
 	params := m.Params()
 	var gradNorm float64
@@ -190,18 +219,27 @@ func (t *Trainer) ApplyGrads(m nn.Module) {
 	nn.ZeroGrads(m)
 	t.step++
 	if obs != nil {
-		t.record(obs, start, gradNorm, clipped, lr)
+		t.record(obs, start, gradNorm, clipped, lr, allocs0)
 	}
 }
 
 // record emits one step's metrics to the recorder.
-func (t *Trainer) record(obs *obsv.Recorder, start time.Time, gradNorm float64, clipped bool, lr float32) {
+func (t *Trainer) record(obs *obsv.Recorder, start time.Time, gradNorm float64, clipped bool, lr float32, allocs0 uint64) {
 	obs.Observe("train.step_ms", float64(time.Since(start))/float64(time.Millisecond))
 	obs.Observe("train.grad_norm", gradNorm)
 	obs.SetGauge("train.lr", float64(lr))
 	obs.Add("train.steps", 1)
 	if clipped {
 		obs.Add("train.clip_events", 1)
+	}
+	obs.Observe("train.allocs_per_step", float64(t.heapAllocObjects()-allocs0))
+	if p := ag.ActivePool(); p != nil {
+		// Cumulative process-wide totals: the pool is shared, so gauges
+		// (not per-trainer deltas) stay correct under parallel experiments.
+		s := p.Stats()
+		obs.SetGauge("tensor.pool_hit", float64(s.Hits))
+		obs.SetGauge("tensor.pool_miss", float64(s.Misses))
+		obs.SetGauge("tensor.pool_bytes_in_use", float64(s.BytesInUse))
 	}
 }
 
