@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -26,6 +27,7 @@ import (
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/core"
 	"edgellm/internal/fault"
+	"edgellm/internal/govern"
 	"edgellm/internal/hwsim"
 	"edgellm/internal/nn"
 	"edgellm/internal/obsv"
@@ -92,6 +94,10 @@ func cmdExperiments(args []string) (err error) {
 	faultSpec := fs.String("fault", "", `inject deterministic faults: comma-separated mode=ID pairs (panic=F5,flaky=T3,fail=A2) or "smoke"`)
 	retries := fs.Int("retries", 0, "retry budget per experiment for retryable failures (0 = default, negative disables)")
 	pool := fs.String("pool", "on", "tensor arena for the training hot path: on|off (results are byte-identical either way; off is for A/B timing)")
+	memBudget := fs.String("mem-budget", "", `hard per-experiment memory budget for the resource governor: bytes with optional KiB/MiB/GiB suffix, or "half-vanilla" for half the analytic vanilla-FT peak`)
+	stageTimeout := fs.Duration("stage-timeout", 0, "wall-clock deadline per experiment attempt; a stalled experiment is cancelled and reported as a failed row")
+	governMode := fs.String("govern", "on", "resource governor: on|off (off ignores -mem-budget and -stage-timeout)")
+	suiteTimeout := fs.Duration("timeout", 0, "whole-suite deadline: in-flight experiments drain, unrun rows are marked skipped, and the command exits non-zero")
 	fs.Parse(args)
 
 	switch *pool {
@@ -103,11 +109,34 @@ func cmdExperiments(args []string) (err error) {
 		return fmt.Errorf("edgellm: -pool must be on or off, got %q", *pool)
 	}
 
-	finish, err := setupObsv(obsvConfig{
+	var gov *govern.Governor
+	switch *governMode {
+	case "off":
+	case "on":
+		budget, err := parseMemBudget(*memBudget)
+		if err != nil {
+			return err
+		}
+		if budget > 0 || *stageTimeout > 0 {
+			gov = govern.New(govern.Budget{MemoryBytes: budget, StageTimeout: *stageTimeout})
+			fmt.Fprintf(os.Stderr, "edgellm: resource governor: mem budget %s, stage timeout %s\n",
+				fmtB(budget), *stageTimeout)
+		}
+	default:
+		return fmt.Errorf("edgellm: -govern must be on or off, got %q", *governMode)
+	}
+
+	oc := obsvConfig{
 		MetricsPath: *metrics, TracePath: *trace, SpanLog: *spanlog,
 		TelemetryAddr: *telemetryAddr, Parallel: *parallel, Quick: *quick,
 		Pool: *pool,
-	})
+	}
+	if gov != nil {
+		oc.Govern = "on"
+		oc.MemBudgetBytes = gov.Budget.MemoryBytes
+		oc.StageTimeoutMS = float64(gov.Budget.StageTimeout) / float64(time.Millisecond)
+	}
+	finish, err := setupObsv(oc)
 	if err != nil {
 		return err
 	}
@@ -147,22 +176,41 @@ func cmdExperiments(args []string) (err error) {
 		opts.Inject = inj.Hook
 	}
 
+	opts.Govern = gov
+
 	// Ctrl-C / SIGTERM cancels the suite; in-flight grid points finish, no
 	// new ones start, and RunAll returns context.Canceled.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	if *suiteTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *suiteTimeout)
+		defer cancel()
+	}
 
 	start := time.Now()
-	reports, err := core.RunAll(ctx, opts)
-	if err != nil {
-		return err
-	}
+	reports, runErr := core.RunAll(ctx, opts)
+	// A cancelled suite (deadline, Ctrl-C) still returns the partial
+	// reports: completed rows are real results, unrun rows are marked
+	// skipped. Print what there is, then exit non-zero.
 	for _, r := range reports {
 		if *markdown {
 			fmt.Println(r.Markdown())
 		} else {
 			fmt.Println(r.String())
 		}
+	}
+	if gov != nil {
+		if rec := obsv.Global(); rec != nil {
+			rec.EmitGovern(gov.Record())
+		}
+		printGovernSummary(gov)
+	}
+	if runErr != nil {
+		if len(reports) > 0 {
+			return fmt.Errorf("suite stopped early (%d rows reported): %w", len(reports), runErr)
+		}
+		return runErr
 	}
 	if failed := failedReports(reports); len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "edgellm: %d of %d experiments failed:\n", len(failed), len(reports))
@@ -175,6 +223,57 @@ func cmdExperiments(args []string) (err error) {
 		fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// parseMemBudget parses the -mem-budget flag: plain bytes, a KiB/MiB/GiB
+// suffix, or the keyword "half-vanilla" (half the analytic vanilla
+// full-fine-tuning peak of the default configuration — the paper's
+// reference point for a constrained edge device).
+func parseMemBudget(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	if s == "half-vanilla" {
+		return core.VanillaPeakBytes(core.DefaultConfig()) / 2, nil
+	}
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}} {
+		if strings.HasSuffix(s, suf.name) {
+			s, mult = strings.TrimSuffix(s, suf.name), suf.mult
+			break
+		}
+	}
+	val, err := strconv.ParseFloat(s, 64)
+	if err != nil || val < 0 {
+		return 0, fmt.Errorf(`edgellm: bad -mem-budget %q (want bytes, a KiB/MiB/GiB value, or "half-vanilla")`, s)
+	}
+	return int64(val * float64(mult)), nil
+}
+
+// printGovernSummary reports what the governor did on stderr: every ladder
+// decision, unmet budgets, and the live-pool cross-check.
+func printGovernSummary(gov *govern.Governor) {
+	rec := gov.Record()
+	if len(rec.Decisions) == 0 && len(rec.UnmetTasks) == 0 {
+		fmt.Fprintln(os.Stderr, "edgellm: governor: no degradation needed")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "edgellm: governor: %d degradation decisions under %s budget\n",
+		len(rec.Decisions), fmtB(rec.BudgetBytes))
+	for _, d := range rec.Decisions {
+		fmt.Fprintf(os.Stderr, "  %s %s [%s] %s: %s → %s\n",
+			d.Task, d.Trigger, d.Rung, d.Detail, fmtB(d.BeforeBytes), fmtB(d.AfterBytes))
+	}
+	for _, t := range rec.UnmetTasks {
+		fmt.Fprintf(os.Stderr, "  %s: ladder floor still exceeds budget (proceeded at floor)\n", t)
+	}
+	if rec.LivePeakBytes > 0 {
+		fmt.Fprintf(os.Stderr, "  live pool peak: %s (%d overshoots)\n", fmtB(rec.LivePeakBytes), rec.LiveOvershoots)
+	}
 }
 
 // failedReports selects the degraded reports of a suite run.
@@ -206,6 +305,12 @@ type obsvConfig struct {
 	Parallel      int
 	Quick         bool
 	Pool          string // tensor arena state ("on"/"off"), recorded in the manifest
+
+	// Resource-governor settings mirrored into the manifest so a metrics
+	// file is self-describing about whether its run was governed.
+	Govern         string
+	MemBudgetBytes int64
+	StageTimeoutMS float64
 }
 
 func (c obsvConfig) enabled() bool {
@@ -279,6 +384,9 @@ func setupObsv(c obsvConfig) (func() error, error) {
 	}{cfg, c.Quick, c.Parallel, c.Pool})
 	man.Parallel = c.Parallel
 	man.Pool = c.Pool
+	man.Govern = c.Govern
+	man.MemBudgetBytes = c.MemBudgetBytes
+	man.StageTimeoutMS = c.StageTimeoutMS
 	rec.EmitManifest(man)
 	obsv.SetGlobal(rec)
 	return func() error {
@@ -336,7 +444,7 @@ func cmdDemo(args []string) error {
 	cfg := core.DefaultConfig()
 	task := core.NewTask(42, cfg.Model.Vocab)
 	fmt.Println("pretraining base model on the source domain...")
-	task.EnsureBase(cfg, 600)
+	task.EnsureBase(context.Background(), cfg, 600)
 	p, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -426,7 +534,7 @@ func cmdTrain(args []string) error {
 	cfg.Seed = *seed
 	task := core.NewTask(*seed, cfg.Model.Vocab)
 	fmt.Printf("pretraining base (%d iters)...\n", *pretrain)
-	task.EnsureBase(cfg, *pretrain)
+	task.EnsureBase(context.Background(), cfg, *pretrain)
 
 	p, err := core.New(cfg)
 	if err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"edgellm/internal/core"
 )
 
 func TestFmtB(t *testing.T) {
@@ -78,5 +80,67 @@ func TestOneExperimentAnalyticIDs(t *testing.T) {
 		if !strings.Contains(r.String(), id+":") {
 			t.Fatalf("%s: rendering lacks the id header", id)
 		}
+	}
+}
+
+func TestParseMemBudget(t *testing.T) {
+	half := core.VanillaPeakBytes(core.DefaultConfig()) / 2
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"1048576", 1 << 20, true},
+		{"4KiB", 4 << 10, true},
+		{"1.5MiB", 3 << 19, true},
+		{"2GiB", 2 << 30, true},
+		{"half-vanilla", half, true},
+		{"nonsense", 0, false},
+		{"-5", 0, false},
+		{"12XiB", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseMemBudget(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseMemBudget(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseMemBudget(%q) accepted, want error", c.in)
+		}
+	}
+}
+
+// TestCmdExperimentsStageTimeoutKillsStall: the CLI path of the stall
+// watchdog — an injected stall is cancelled at the stage deadline and the
+// command exits non-zero with the row reported as failed.
+func TestCmdExperimentsStageTimeoutKillsStall(t *testing.T) {
+	err := cmdExperiments([]string{"-quick", "-t", "F1", "-fault", "stall=F1", "-stage-timeout", "300ms"})
+	if err == nil {
+		t.Fatal("a stalled-and-killed row must fail the command")
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("error %q does not report the failed row", err)
+	}
+}
+
+// TestCmdExperimentsSuiteTimeout: the whole-suite deadline produces a
+// partial report and a non-zero exit.
+func TestCmdExperimentsSuiteTimeout(t *testing.T) {
+	err := cmdExperiments([]string{"-quick", "-t", "T3", "-fault", "stall=T3", "-timeout", "300ms"})
+	if err == nil {
+		t.Fatal("suite timeout must exit non-zero")
+	}
+	if !strings.Contains(err.Error(), "suite stopped early") {
+		t.Fatalf("error %q does not mark the early stop", err)
+	}
+}
+
+// TestCmdExperimentsGovernedAnalytic: a governed run of an analytic
+// experiment completes under a tight budget (nothing to degrade, nothing
+// to kill).
+func TestCmdExperimentsGovernedAnalytic(t *testing.T) {
+	if err := cmdExperiments([]string{"-quick", "-t", "F4", "-mem-budget", "half-vanilla", "-stage-timeout", "60s"}); err != nil {
+		t.Fatalf("governed analytic run failed: %v", err)
 	}
 }

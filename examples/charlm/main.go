@@ -19,7 +19,7 @@ func main() {
 	opts := core.RunOpts{Iters: 300, MCQIters: 0, EvalBatches: 10}
 
 	fmt.Println("pretraining the shared base model on the source stream...")
-	task.EnsureBase(cfg, 700)
+	task.EnsureBase(context.Background(), cfg, 700)
 	fmt.Printf("adapting the %d-layer base model to a shifted Markov stream (vocab %d)\n\n",
 		cfg.Model.Layers, cfg.Model.Vocab)
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"edgellm/internal/adapt"
@@ -24,7 +25,7 @@ func main() {
 	fmt.Printf("chance accuracy: %.1f%%\n\n", 100.0/float64(len(task.MCQ.Train[0].Options)))
 
 	fmt.Println("pretraining the base model on the source LM stream...")
-	task.EnsureBase(cfg, 600)
+	task.EnsureBase(context.Background(), cfg, 600)
 
 	p, err := core.New(cfg)
 	if err != nil {

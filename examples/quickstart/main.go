@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"edgellm/internal/core"
@@ -23,7 +24,7 @@ func main() {
 	// paper's setting is adapting a *pretrained* LLM, not training from
 	// scratch.
 	fmt.Println("pretraining base model on the source domain...")
-	task.EnsureBase(cfg, 600)
+	task.EnsureBase(context.Background(), cfg, 600)
 
 	p, err := core.New(cfg)
 	if err != nil {

@@ -327,3 +327,116 @@ func TestLoRATuningReducesLossWithFrozenBase(t *testing.T) {
 		t.Fatal("LoRA must be parameter-efficient relative to the base model")
 	}
 }
+
+// runTunerSteps trains a fresh tiny model for n adaptive iterations and
+// returns the model plus the per-step losses. The recompute and pool knobs
+// are the two axes the bitwise-equivalence tests sweep.
+func runTunerSteps(t *testing.T, recompute, pool bool, n int) (*nn.Model, []float64) {
+	t.Helper()
+	if pool {
+		ag.SetPool(tensor.NewPool())
+	} else {
+		ag.SetPool(nil)
+	}
+	m := tinyModel(21, 4)
+	tuner, err := NewTuner(m, TunerConfig{WindowSize: 3, Strategy: StrategySliding, Recompute: recompute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := data.MarkovCorpus(8, 16, 500, 2)
+	g := tensor.NewRNG(22)
+	tr := train.NewTrainer(train.NewAdamW(0.01), 0.01, 1)
+	losses := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		inputs, targets := corpus.Batch(g, 2, 8)
+		loss, _, _ := tuner.Step(tr, inputs, targets)
+		losses = append(losses, loss)
+	}
+	return m, losses
+}
+
+// TestRecomputeStepMatchesPlainBitwise asserts the governor's recompute
+// rung is numerically free: windowed checkpointing must produce the exact
+// same losses and final weights as the plain window step, with the arena
+// on or off.
+func TestRecomputeStepMatchesPlainBitwise(t *testing.T) {
+	defer ag.SetPool(nil)
+	const steps = 8
+	base, baseLosses := runTunerSteps(t, false, false, steps)
+	for _, pool := range []bool{false, true} {
+		got, gotLosses := runTunerSteps(t, true, pool, steps)
+		for i := range baseLosses {
+			if baseLosses[i] != gotLosses[i] {
+				t.Fatalf("pool=%v step %d: loss %v != plain %v", pool, i, gotLosses[i], baseLosses[i])
+			}
+		}
+		bp, gp := base.Params(), got.Params()
+		if len(bp) != len(gp) {
+			t.Fatalf("param count %d != %d", len(gp), len(bp))
+		}
+		for i := range bp {
+			if !tensor.AllClose(bp[i].Value.Data, gp[i].Value.Data, 0, 0) {
+				t.Fatalf("pool=%v: param %s diverged under recompute", pool, bp[i].Name)
+			}
+		}
+	}
+}
+
+// TestRecomputeStepPoolBalanced asserts the recompute path releases every
+// pooled buffer it draws — the property the resource governor relies on
+// when it flips recompute on under memory pressure.
+func TestRecomputeStepPoolBalanced(t *testing.T) {
+	p := tensor.NewPool()
+	ag.SetPool(p)
+	defer ag.SetPool(nil)
+	m := tinyModel(21, 4)
+	tuner, err := NewTuner(m, TunerConfig{WindowSize: 4, Strategy: StrategySliding, Recompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := data.MarkovCorpus(8, 16, 500, 2)
+	g := tensor.NewRNG(22)
+	tr := train.NewTrainer(train.NewAdamW(0.01), 0.01, 1)
+	for i := 0; i < 4; i++ {
+		inputs, targets := corpus.Batch(g, 2, 8)
+		tuner.Step(tr, inputs, targets)
+		if use := p.Stats().BytesInUse; use != 0 {
+			t.Fatalf("step %d: %d pooled bytes still in use", i, use)
+		}
+	}
+}
+
+// TestSetWindowSizeMidRun exercises the governor's shrink-window rung: the
+// width changes between iterations and the cached window parameter sets
+// must be rebuilt for the new geometry.
+func TestSetWindowSizeMidRun(t *testing.T) {
+	m := tinyModel(21, 4)
+	tuner, err := NewTuner(m, TunerConfig{WindowSize: 3, Strategy: StrategySliding})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := data.MarkovCorpus(8, 16, 500, 2)
+	g := tensor.NewRNG(22)
+	tr := train.NewTrainer(train.NewAdamW(0.01), 0.01, 1)
+	inputs, targets := corpus.Batch(g, 2, 8)
+	tuner.Step(tr, inputs, targets)
+	if err := tuner.SetWindowSize(9); err == nil {
+		t.Fatal("oversized window must be rejected")
+	}
+	if err := tuner.SetWindowSize(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		inputs, targets := corpus.Batch(g, 2, 8)
+		_, lo, hi := tuner.Step(tr, inputs, targets)
+		if hi-lo+1 != 1 {
+			t.Fatalf("window [%d,%d] after SetWindowSize(1)", lo, hi)
+		}
+	}
+	// SetIteration replays the schedule from a chosen position.
+	tuner.SetIteration(0)
+	_, _, hi := tuner.Step(tr, inputs, targets)
+	if hi != 0 {
+		t.Fatalf("window top %d after SetIteration(0), want 0", hi)
+	}
+}

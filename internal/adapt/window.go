@@ -69,6 +69,14 @@ type TunerConfig struct {
 	// Importance drives StrategySensitivity: one non-negative weight per
 	// layer. Ignored by other strategies.
 	Importance []float64
+	// Recompute, when true and the window spans ≥ 2 blocks, splits the
+	// window into two checkpointed segments: the forward pass through the
+	// lower half runs tape-free (only the boundary activation is kept) and
+	// is re-run with a tape during backward. Peak tape memory drops to
+	// ⌈W/2⌉ blocks at the cost of one extra lower-half forward. Gradients
+	// are bitwise-identical to the plain path — the resource governor
+	// flips this knob as a degradation rung without perturbing results.
+	Recompute bool
 }
 
 // Validate reports the first invalid field given a model depth.
@@ -123,9 +131,22 @@ func NewTuner(m *nn.Model, cfg TunerConfig) (*Tuner, error) {
 // Window returns the inclusive block range [lo, hi] tuned at iteration
 // `iter`. The loss is computed at the exit head of layer hi.
 func (t *Tuner) Window(iter int) (lo, hi int) {
-	layers := len(t.Model.Blocks)
-	w := t.Cfg.WindowSize
-	switch t.Cfg.Strategy {
+	if t.Cfg.Strategy == StrategySensitivity {
+		// Use the cached visit plan instead of rebuilding it per call.
+		return windowFromTop(t.visitPlan[iter%len(t.visitPlan)], t.Cfg.WindowSize)
+	}
+	return t.Cfg.WindowAt(len(t.Model.Blocks), iter)
+}
+
+// WindowAt computes the window tuned at iteration iter for a model of the
+// given depth — a pure function of the configuration, usable without a
+// Tuner. The resource governor's admission estimator replays window
+// schedules with it to predict optimizer-state growth deterministically.
+// For StrategySensitivity the visit plan is rebuilt on the fly; results
+// match a Tuner's cached plan exactly.
+func (c TunerConfig) WindowAt(layers, iter int) (lo, hi int) {
+	w := c.WindowSize
+	switch c.Strategy {
 	case StrategySliding:
 		hi = iter % layers
 	case StrategyRoundRobin:
@@ -138,9 +159,15 @@ func (t *Tuner) Window(iter int) (lo, hi int) {
 	case StrategyTopOnly:
 		hi = layers - 1
 	case StrategySensitivity:
-		hi = t.visitPlan[iter%len(t.visitPlan)]
+		plan := sensitivityPlan(c.Importance, w)
+		hi = plan[iter%len(plan)]
 	}
-	lo = hi - w + 1
+	return windowFromTop(hi, w)
+}
+
+// windowFromTop derives the inclusive window from its top layer and width.
+func windowFromTop(hi, w int) (int, int) {
+	lo := hi - w + 1
 	if lo < 0 {
 		lo = 0
 	}
@@ -256,14 +283,9 @@ func (t *Tuner) Step(tr *train.Trainer, inputs [][]int, targets []int) (loss flo
 
 	m := t.Model
 	last := hi == len(m.Blocks)-1
-	m.SetAllTrainable(false)
-	for i := lo; i <= hi; i++ {
-		m.SetBlockTrainable(i, true)
-	}
-	nn.SetTrainable(m.Exits[hi], true)
-	if last {
-		nn.SetTrainable(m.Norm, true)
-		nn.SetTrainable(m.LMHead, true)
+	recompute := t.Cfg.Recompute && hi-lo+1 >= 2
+	if tr.Heartbeat != nil {
+		tr.Heartbeat() // progress signal before the (possibly long) forward
 	}
 
 	obs := obsv.Global()
@@ -274,35 +296,156 @@ func (t *Tuner) Step(tr *train.Trainer, inputs [][]int, targets []int) (loss flo
 		defer func() { tr.GradHook = nil }()
 	}
 
-	fwd := step.Child("adapt.forward")
-	hidden := m.HiddenAt(inputs, hi+1)
-	ce := ag.CrossEntropy(m.Exits[hi].Forward(hidden), targets, -1)
-	if last {
-		ceFinal := ag.CrossEntropy(m.LMHead.Forward(m.Norm.Forward(hidden)), targets, -1)
-		ce = ag.Scale(ag.Add(ce, ceFinal), 0.5)
+	if recompute {
+		fwd := step.Child("adapt.forward")
+		loss = t.recomputeBackward(inputs, targets, lo, hi, last)
+		fwd.End()
+		upd := step.Child("adapt.update")
+		tr.ApplyGrads(windowModule{ps: t.windowParams(lo, hi, last)})
+		upd.End()
+	} else {
+		m.SetAllTrainable(false)
+		for i := lo; i <= hi; i++ {
+			m.SetBlockTrainable(i, true)
+		}
+		nn.SetTrainable(m.Exits[hi], true)
+		if last {
+			nn.SetTrainable(m.Norm, true)
+			nn.SetTrainable(m.LMHead, true)
+		}
+		fwd := step.Child("adapt.forward")
+		hidden := m.HiddenAt(inputs, hi+1)
+		ce := ag.CrossEntropy(m.Exits[hi].Forward(hidden), targets, -1)
+		if last {
+			ceFinal := ag.CrossEntropy(m.LMHead.Forward(m.Norm.Forward(hidden)), targets, -1)
+			ce = ag.Scale(ag.Add(ce, ceFinal), 0.5)
+		}
+		fwd.End()
+		upd := step.Child("adapt.update")
+		loss = tr.Step(windowModule{ps: t.windowParams(lo, hi, last)}, ce)
+		upd.End()
 	}
-	fwd.End()
-
-	upd := step.Child("adapt.update")
-	loss = tr.Step(windowModule{ps: t.windowParams(lo, hi, last)}, ce)
-	upd.End()
 
 	if obs != nil {
 		depth := hi - lo + 1
+		tapeDepth := depth
+		if recompute {
+			tapeDepth = depth - depth/2 // one segment's tape at a time
+		}
 		obs.Add("adapt.tune_steps", 1)
 		obs.SetGauge("adapt.window_lo", float64(lo))
 		obs.SetGauge("adapt.window_hi", float64(hi))
 		obs.Observe("adapt.backprop_depth", float64(depth))
 		if len(inputs) > 0 && len(inputs[0]) > 0 {
-			// Peak activation memory ≈ backprop depth × one block's live
-			// activations: layers below the window run tape-free.
+			// Peak activation memory ≈ live tape depth × one block's
+			// activations: layers below the window (and, with recompute on,
+			// the currently-inactive window segment) run tape-free.
 			perBlock := train.BlockActivationBytes(m.Cfg, len(inputs), len(inputs[0]))
-			obs.SetGauge("adapt.peak_activation_bytes", float64(int64(depth)*perBlock))
+			obs.SetGauge("adapt.peak_activation_bytes", float64(int64(tapeDepth)*perBlock))
 		}
 		step.EndWith(map[string]float64{"loss": loss, "lo": float64(lo), "hi": float64(hi)})
 	}
 	return loss, lo, hi
 }
+
+// recomputeBackward runs one checkpointed window iteration: the window
+// [lo, hi] is split at mid = lo + (hi-lo+1)/2 into a lower and an upper
+// segment. The forward pass up to mid runs fully frozen (no tape); the
+// upper segment plus the loss head run taped and are backpropagated first,
+// yielding the boundary gradient; the lower segment is then re-run with a
+// tape and backpropagated from that seed. Parameter gradient accumulation
+// order within each segment matches the plain path and the segments'
+// parameter sets are disjoint, so the accumulated gradients are
+// bitwise-identical — the caller applies them with Trainer.ApplyGrads.
+func (t *Tuner) recomputeBackward(inputs [][]int, targets []int, lo, hi int, last bool) float64 {
+	m := t.Model
+	b, tk := len(inputs), len(inputs[0])
+	mid := lo + (hi-lo+1)/2
+
+	// Tape-free forward to the segment boundary: everything frozen, so the
+	// graph constant-folds and only the activations we keep survive.
+	m.SetAllTrainable(false)
+	lowIn := m.HiddenAt(inputs, lo)
+	x := lowIn
+	for i := lo; i < mid; i++ {
+		x = m.Blocks[i].Forward(x, b, tk)
+	}
+
+	// Upper segment + loss head, taped; the boundary Param collects the
+	// gradient the lower segment needs.
+	for i := mid; i <= hi; i++ {
+		m.SetBlockTrainable(i, true)
+	}
+	nn.SetTrainable(m.Exits[hi], true)
+	if last {
+		nn.SetTrainable(m.Norm, true)
+		nn.SetTrainable(m.LMHead, true)
+	}
+	boundary := ag.Param(x.Data)
+	hidden := boundary
+	for i := mid; i <= hi; i++ {
+		hidden = m.Blocks[i].Forward(hidden, b, tk)
+	}
+	ce := ag.CrossEntropy(m.Exits[hi].Forward(hidden), targets, -1)
+	if last {
+		ceFinal := ag.CrossEntropy(m.LMHead.Forward(m.Norm.Forward(hidden)), targets, -1)
+		ce = ag.Scale(ag.Add(ce, ceFinal), 0.5)
+	}
+	loss := float64(ce.Data.Data[0])
+	ce.Backward()
+	upstream := boundary.Grad
+	if ag.ActivePool() != nil {
+		ag.ReleaseTape(ce) // boundary is a leaf: its data and grad survive
+	}
+
+	// Lower segment recompute, taped, seeded with the boundary gradient.
+	// A non-finite loss poisons the gradients; ApplyGrads' non-finite-norm
+	// guard then skips the update and counts the bad step, exactly as the
+	// plain path's Trainer.Step would.
+	for i := lo; i < mid; i++ {
+		m.SetBlockTrainable(i, true)
+	}
+	y := ag.Const(lowIn.Data)
+	for i := lo; i < mid; i++ {
+		y = m.Blocks[i].Forward(y, b, tk)
+	}
+	y.BackwardWithGrad(upstream)
+	boundary.ZeroGrad()
+	if ag.ActivePool() != nil {
+		ag.ReleaseTape(y)
+	}
+	return loss
+}
+
+// SetWindowSize reconfigures the tuner's window width mid-run — the
+// resource governor's shrink-window degradation rung. The cached window
+// parameter sets and the sensitivity visit plan are rebuilt, since both
+// depend on the width.
+func (t *Tuner) SetWindowSize(w int) error {
+	if w == t.Cfg.WindowSize {
+		return nil
+	}
+	cfg := t.Cfg
+	cfg.WindowSize = w
+	if err := cfg.Validate(len(t.Model.Blocks)); err != nil {
+		return err
+	}
+	t.Cfg = cfg
+	t.winParams = nil
+	if cfg.Strategy == StrategySensitivity {
+		t.visitPlan = sensitivityPlan(cfg.Importance, w)
+	}
+	return nil
+}
+
+// SetRecompute flips the windowed-checkpointing knob mid-run — the
+// governor's recompute rung. Gradients are unaffected (see
+// recomputeBackward), so this is always numerically safe.
+func (t *Tuner) SetRecompute(on bool) { t.Cfg.Recompute = on }
+
+// SetIteration overrides the iteration counter; snapshot resume uses it so
+// the window schedule continues from the interrupted position.
+func (t *Tuner) SetIteration(n int) { t.iter = n }
 
 // recordBlockGrads publishes the L2 gradient norm of every block in the
 // active window as a layer-labeled gauge. It runs inside the trainer's

@@ -31,13 +31,19 @@ func CausalAttention(q, k, v *Value, batch, seqLen, nHeads int) *Value {
 	tape := anyGrad(q, k, v)
 	out, owned := outFor(tape, rows, c)
 	// probs[b*nHeads+h] is the (T, T) attention matrix for that batch/head,
-	// retained for the backward pass (which releases pooled ones).
+	// retained for the backward pass. Pooled ones are registered as the
+	// node's aux buffers so both the backward closure and ReleaseTape
+	// (tape-free teardown) return them to the arena.
 	probs := make([]*tensor.Tensor, batch*nHeads)
+	var pooledProbs []*tensor.Tensor
 
 	for b := 0; b < batch; b++ {
 		for h := 0; h < nHeads; h++ {
-			p, _ := outFor(tape, seqLen, seqLen)
+			p, pOwned := outFor(tape, seqLen, seqLen)
 			probs[b*nHeads+h] = p
+			if pOwned {
+				pooledProbs = append(pooledProbs, p)
+			}
 			for t := 0; t < seqLen; t++ {
 				qRow := q.Data.Row(b*seqLen + t)[h*hd : (h+1)*hd]
 				// scores over keys 0..t (causal mask)
@@ -147,10 +153,9 @@ func CausalAttention(q, k, v *Value, batch, seqLen, nHeads int) *Value {
 			putScratch(dV)
 		}
 		// The attention matrices are dead once the input gradients exist.
-		for _, p := range probs {
-			putScratch(p)
-		}
+		o.releaseAux()
 	}, q, k, v)
 	node.dataOwned = owned
+	node.aux = pooledProbs
 	return node
 }

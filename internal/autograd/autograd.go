@@ -41,6 +41,26 @@ type Value struct {
 	// once the training step can no longer read them.
 	dataOwned bool
 	gradOwned bool
+
+	// aux holds arena-owned side buffers the op retains for its backward
+	// closure (e.g. attention probabilities) that are not graph nodes of
+	// their own. The backward closure releases them as soon as they are
+	// dead; ReleaseTape releases them for graphs torn down without a
+	// backward pass (checkpointing's tape-free first forward).
+	aux []*tensor.Tensor
+}
+
+// releaseAux returns the op's retained side buffers to the arena. Safe to
+// call more than once; only arena-owned buffers are ever registered.
+func (v *Value) releaseAux() {
+	if len(v.aux) == 0 {
+		return
+	}
+	p := activePool.Load()
+	for _, t := range v.aux {
+		p.Put(t)
+	}
+	v.aux = nil
 }
 
 // Param wraps t as a trainable leaf (RequiresGrad = true).

@@ -90,6 +90,7 @@ func ReleaseTape(root *Value) {
 			p.Put(n.Grad)
 			n.gradOwned = false
 		}
+		n.releaseAux()
 		n.Data = nil
 		n.Grad = nil
 		n.parents = nil

@@ -23,7 +23,7 @@ func AblationProbeMetric(ctx context.Context, pretrainIters, evalBatches int) *R
 	cfg := DefaultConfig()
 	task := NewTask(500, cfg.Model.Vocab)
 
-	task.EnsureBase(cfg, 2*pretrainIters)
+	task.EnsureBase(ctx, cfg, 2*pretrainIters)
 	snap := task.Base
 
 	// Probe calibration comes from the source domain the base knows.
@@ -113,7 +113,7 @@ func AblationWindowStrategy(ctx context.Context, iters, evalBatches int) *Report
 	}
 	baseCfg := DefaultConfig()
 	task := NewTask(600, baseCfg.Model.Vocab)
-	task.EnsureBase(baseCfg, 2*iters)
+	task.EnsureBase(ctx, baseCfg, 2*iters)
 	// Low-level domain shift: same chain statistics, permuted symbols.
 	task.Train = data.PermuteTokens(task.Train, 9001)
 	task.Eval = data.PermuteTokens(task.Eval, 9001)
@@ -154,7 +154,7 @@ func AblationWindowStrategy(ctx context.Context, iters, evalBatches int) *Report
 func AblationVotingMode(ctx context.Context, iters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(700, cfg.Model.Vocab)
-	task.EnsureBase(cfg, 2*iters)
+	task.EnsureBase(ctx, cfg, 2*iters)
 	p, err := New(cfg)
 	if err != nil {
 		panic(err)
@@ -236,7 +236,7 @@ func AblationFusion(ctx context.Context) *Report {
 func AblationRefine(ctx context.Context, pretrainIters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(800, cfg.Model.Vocab)
-	task.EnsureBase(cfg, 2*pretrainIters)
+	task.EnsureBase(ctx, cfg, 2*pretrainIters)
 
 	calib, _ := task.Pretrain.SequentialBatches(cfg.Batch, cfg.Seq, 2)
 	var flat [][]int

@@ -222,9 +222,9 @@ func TestTaskProtocol(t *testing.T) {
 	}
 
 	// EnsureBase is idempotent: the snapshot is built once.
-	task.EnsureBase(cfg, 10)
+	task.EnsureBase(context.Background(), cfg, 10)
 	snap := task.Base
-	task.EnsureBase(cfg, 10)
+	task.EnsureBase(context.Background(), cfg, 10)
 	if &task.Base[0] != &snap[0] {
 		t.Fatal("EnsureBase must not rebuild an existing base")
 	}
@@ -249,7 +249,7 @@ func TestTaskProtocol(t *testing.T) {
 func TestPretrainedBaseBeatsRandomOnSource(t *testing.T) {
 	cfg := quickCfg()
 	task := NewTask(11, cfg.Model.Vocab)
-	task.EnsureBase(cfg, 120)
+	task.EnsureBase(context.Background(), cfg, 120)
 
 	random := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	pretrained := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))

@@ -29,7 +29,7 @@ func EdgeModelConfig() nn.Config {
 func ExperimentT1(ctx context.Context, opts RunOpts) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(100, cfg.Model.Vocab)
-	task.EnsureBase(cfg, opts.PretrainIters)
+	task.EnsureBase(ctx, cfg, opts.PretrainIters)
 
 	// The base snapshot is built once above; each method then constructs its
 	// own model, trainer, and RNGs from fixed seeds, so the runs are
@@ -86,7 +86,7 @@ func ExperimentT2(ctx context.Context, tuneIters, evalBatches int) *Report {
 	// Pretrain the shared base on the source corpus so compression damages
 	// a model that actually fits data (otherwise all policies look alike);
 	// each policy then adapts toward the target corpus.
-	task.EnsureBase(cfg, 2*tuneIters)
+	task.EnsureBase(ctx, cfg, 2*tuneIters)
 	snapshot := task.Base
 
 	evalPPL := func(m *nn.Model) float64 {
@@ -347,7 +347,7 @@ func ExperimentF2(ctx context.Context, iters, evalBatches int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(300, cfg.Model.Vocab)
 
-	task.EnsureBase(cfg, 2*iters)
+	task.EnsureBase(ctx, cfg, 2*iters)
 
 	r := &Report{
 		ID:     "F2",
@@ -403,7 +403,7 @@ func ExperimentF2(ctx context.Context, iters, evalBatches int) *Report {
 func ExperimentF3(ctx context.Context, pretrainIters int) *Report {
 	cfg := DefaultConfig()
 	task := NewTask(400, cfg.Model.Vocab)
-	task.EnsureBase(cfg, 2*pretrainIters)
+	task.EnsureBase(ctx, cfg, 2*pretrainIters)
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 

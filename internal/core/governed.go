@@ -1,0 +1,362 @@
+// Resource-governed pipeline admission. When a suite run installs a
+// govern.Governor (RunAll's SuiteOpts.Govern), every Pipeline and baseline
+// method admits its resource plan against the memory budget before
+// building anything, and the pipeline re-admits before every tuning step
+// as optimizer state accumulates across visited windows.
+//
+// All estimates here are analytic — pure functions of the configuration
+// and the deterministic window schedule, in the train.EstimateMemory
+// accounting system. Live pool readings never enter them (see the package
+// comment in internal/govern), so the rung sequence is byte-identical at
+// any GOMAXPROCS and replays exactly on snapshot resume.
+
+package core
+
+import (
+	"fmt"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/govern"
+	"edgellm/internal/luc"
+	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
+	"edgellm/internal/train"
+)
+
+// totalParamElems counts every parameter element of a model built from cfg
+// (with exit heads forced on, as New does) without constructing it.
+func totalParamElems(cfg nn.Config) int64 {
+	d, v := int64(cfg.Dim), int64(cfg.Vocab)
+	n := v*d + int64(cfg.MaxSeq)*d + d + d*v // tok, pos, final norm, lm head
+	perExit := d                             // exit RMSNorm gain
+	if !cfg.TieExitHeads {
+		perExit += d * v // untied exits own a vocab projection
+	}
+	n += int64(cfg.Layers) * perExit
+	n += int64(cfg.Layers) * (train.BlockWeightElems(cfg) + 2*d)
+	return n
+}
+
+// exitHeadElems is the trainable footprint of one exit head in the
+// pipeline's accounting (norm gain + vocab projection), matching
+// Pipeline.MemorySpec.
+func exitHeadElems(cfg nn.Config) int64 {
+	return int64(cfg.Dim) + int64(cfg.Dim)*int64(cfg.Vocab)
+}
+
+// windowTrainableElems is the per-iteration trainable footprint of an
+// adaptive-tuning window of the given width.
+func windowTrainableElems(cfg nn.Config, window int) int64 {
+	return int64(window)*(train.BlockWeightElems(cfg)+2*int64(cfg.Dim)) + exitHeadElems(cfg)
+}
+
+// estimateTuning is the analytic peak footprint of one adaptive-tuning
+// step under a plan: weights at the plan's LUC bit budget, grads for the
+// window, optimizer state for optElems accumulated elements, and a tape
+// spanning the window (its upper half only under checkpointed recompute).
+func estimateTuning(cfg Config, pl govern.Plan, optElems int64) int64 {
+	m := cfg.Model
+	m.ExitHeads = true
+	d, v := int64(m.Dim), int64(m.Vocab)
+
+	// Weights: fp32 everywhere except block matrices, which store at the
+	// plan's average effective bits (the quantity LUC's search targets).
+	fp32 := v*d + int64(m.MaxSeq)*d + d + d*v
+	perExit := d
+	if !m.TieExitHeads {
+		perExit += d * v
+	}
+	fp32 += int64(m.Layers) * perExit
+	fp32 += int64(m.Layers) * 2 * d // block norms
+	weights := 4 * fp32
+	bits := pl.BudgetBits
+	if bits <= 0 {
+		bits = 32
+	}
+	weights += int64(float64(m.Layers) * float64(train.BlockWeightElems(m)) * bits / 8)
+
+	trainable := windowTrainableElems(m, pl.WindowSize)
+	grads := 4 * trainable
+	opt := int64(8) * optElems // AdamW
+
+	tape := pl.WindowSize
+	if pl.Recompute {
+		tape = pl.WindowSize - pl.WindowSize/2 // upper segment only
+	}
+	rows := int64(pl.Batch) * int64(cfg.Seq)
+	acts := int64(tape) * train.BlockActivationBytes(m, pl.Batch, cfg.Seq)
+	acts += 4*rows*d + 4*rows*d // boundary activation + head norm output
+	acts += 2 * 4 * rows * v    // logits + softmax probs
+
+	return weights + grads + opt + acts
+}
+
+// admissionEstimator prices a pipeline plan at construction time: one
+// window's optimizer state (the first step's footprint). Mid-run
+// re-admission accounts for accumulated state via projectedOptElems.
+func admissionEstimator(cfg Config) govern.Estimator {
+	return func(pl govern.Plan) int64 {
+		return estimateTuning(cfg, pl, windowTrainableElems(cfg.Model, pl.WindowSize))
+	}
+}
+
+// governedState tracks one governed pipeline: its admitted plan and which
+// parameter groups have entered the optimizer (and therefore hold state)
+// so the pre-step estimate can project the post-step footprint.
+type governedState struct {
+	gov  *govern.Governor
+	task string
+	plan govern.Plan
+
+	steppedBlk   []bool
+	steppedExit  []bool
+	steppedFinal bool
+}
+
+// governPipeline admits cfg against the active governor's budget and
+// returns the (possibly degraded) config plus the tracking state; state is
+// nil when no governor is active or governance is disabled.
+func governPipeline(cfg Config, cands []luc.Candidate) (Config, *governedState) {
+	gov := activeGovernor()
+	if !gov.Enabled() {
+		return cfg, nil
+	}
+	minWindow := 2
+	if cfg.WindowSize < minWindow {
+		minWindow = cfg.WindowSize
+	}
+	minBits := luc.MinEffectiveBits(cands)
+	if minBits < 1 {
+		minBits = 1
+	}
+	pl := govern.Plan{
+		WindowSize: cfg.WindowSize, MinWindow: minWindow,
+		BudgetBits: cfg.BudgetBits, MinBits: minBits,
+		MaxSegments: 2, // window recompute splits the span in half
+		Batch:       cfg.Batch,
+	}
+	task := "pipeline@" + obsv.HashConfig(cfg)
+	pl = gov.Admit(task, "admission", pl, admissionEstimator(cfg))
+	cfg.WindowSize, cfg.BudgetBits, cfg.Batch = pl.WindowSize, pl.BudgetBits, pl.Batch
+	return cfg, &governedState{
+		gov: gov, task: task, plan: pl,
+		steppedBlk:  make([]bool, cfg.Model.Layers),
+		steppedExit: make([]bool, cfg.Model.Layers),
+	}
+}
+
+// projectedOptElems counts the optimizer-state elements that would exist
+// after stepping the window scheduled at iteration iter under plan pl:
+// the union of everything already stepped and that window. AdamW state is
+// lazy per parameter, so this is exactly the deterministic accumulation
+// schedule the optimizer follows.
+func (gs *governedState) projectedOptElems(p *Pipeline, pl govern.Plan, iter int) int64 {
+	m := p.Cfg.Model
+	d, v := int64(m.Dim), int64(m.Vocab)
+	blk := make([]bool, len(gs.steppedBlk))
+	copy(blk, gs.steppedBlk)
+	exit := make([]bool, len(gs.steppedExit))
+	copy(exit, gs.steppedExit)
+	final := gs.steppedFinal
+
+	tc := p.Tuner.Cfg
+	tc.WindowSize = pl.WindowSize
+	lo, hi := tc.WindowAt(m.Layers, iter)
+	for i := lo; i <= hi; i++ {
+		blk[i] = true
+	}
+	exit[hi] = true
+	if hi == m.Layers-1 {
+		final = true
+	}
+
+	var n int64
+	perBlock := train.BlockWeightElems(m) + 2*d
+	perExit := d
+	if !m.TieExitHeads {
+		perExit += d * v
+	}
+	anyExit := false
+	for i := range blk {
+		if blk[i] {
+			n += perBlock
+		}
+		if exit[i] {
+			n += perExit
+			anyExit = true
+		}
+	}
+	if anyExit && m.TieExitHeads {
+		n += d * v // shared exit projection, stated once
+	}
+	if final {
+		n += d + d*v // final norm + lm head
+	}
+	return n
+}
+
+// preStepGovern re-admits the pipeline's plan immediately before a tuning
+// step, pricing in the optimizer state the step would leave behind. Any
+// rung that fires is applied live (window shrink, recompute switch, batch
+// halving); the bits rung is off the table mid-run — the backbone is
+// already quantized — which the plan encodes by raising MinBits to the
+// current budget. The window the step will tune is then marked stepped.
+func (p *Pipeline) preStepGovern() {
+	gs := p.gstate
+	if gs == nil || p.Tuner == nil || !gs.gov.Enabled() {
+		return
+	}
+	iter := p.Tuner.Iterations()
+	pl := gs.plan
+	pl.MinBits = pl.BudgetBits
+	if pl.MinBits <= 0 {
+		pl.MinBits = 32
+	}
+	est := func(q govern.Plan) int64 {
+		return estimateTuning(p.Cfg, q, gs.projectedOptElems(p, q, iter))
+	}
+	admitted := gs.gov.Admit(gs.task, fmt.Sprintf("step@%d", iter), pl, est)
+
+	if admitted.WindowSize != pl.WindowSize {
+		if err := p.Tuner.SetWindowSize(admitted.WindowSize); err != nil {
+			panic(err) // ladder only shrinks, so this cannot go out of range
+		}
+	}
+	if admitted.Recompute != pl.Recompute {
+		p.Tuner.SetRecompute(admitted.Recompute)
+	}
+	if admitted.Batch != pl.Batch {
+		p.Cfg.Batch = admitted.Batch
+	}
+	admitted.MinBits = gs.plan.MinBits
+	gs.plan = admitted
+
+	m := p.Cfg.Model
+	lo, hi := p.Tuner.Window(iter)
+	for i := lo; i <= hi; i++ {
+		gs.steppedBlk[i] = true
+	}
+	gs.steppedExit[hi] = true
+	if hi == m.Layers-1 {
+		gs.steppedFinal = true
+	}
+	if pool := ag.ActivePool(); pool != nil {
+		gs.gov.ObserveLive(pool.Stats().BytesInUse)
+	}
+}
+
+// ReplayGovernance re-derives the governed state after a snapshot resume:
+// it replays the pre-step admissions for iterations [0, upTo) so the plan,
+// the stepped-parameter tracking, and the recorded rung sequence match
+// what the interrupted run had at that point — degradation composes with
+// resume because both are deterministic in the iteration number.
+func (p *Pipeline) ReplayGovernance(upTo int) {
+	if p.gstate == nil || p.Tuner == nil {
+		return
+	}
+	for i := 0; i < upTo; i++ {
+		p.Tuner.SetIteration(i)
+		p.preStepGovern()
+	}
+	p.Tuner.SetIteration(upTo)
+}
+
+// GovernedPlan returns the currently admitted plan, or the zero Plan when
+// the pipeline is ungoverned.
+func (p *Pipeline) GovernedPlan() govern.Plan {
+	if p.gstate == nil {
+		return govern.Plan{}
+	}
+	return p.gstate.plan
+}
+
+// Governed reports whether a governor admitted this pipeline.
+func (p *Pipeline) Governed() bool { return p.gstate != nil }
+
+// analyticVanillaSpec is VanillaSpec without needing a built model: full
+// fine-tuning of the uncompressed model at the given batch.
+func analyticVanillaSpec(cfg Config, batch int) train.MemorySpec {
+	m := cfg.Model
+	m.ExitHeads = true
+	bits := make([]int, m.Layers)
+	sp := make([]float64, m.Layers)
+	for i := range bits {
+		bits[i] = 32
+	}
+	return train.MemorySpec{
+		Cfg: m, Batch: batch, Seq: cfg.Seq,
+		TapeBlocks:          m.Layers,
+		TrainableElems:      totalParamElems(m),
+		BlockWeightBits:     bits,
+		BlockWeightSparsity: sp,
+		OptBytesPerElem:     8,
+	}
+}
+
+// VanillaPeakBytes is the analytic peak training footprint of vanilla full
+// fine-tuning under cfg — the reference point the CLI's
+// -mem-budget=half-vanilla divides in two.
+func VanillaPeakBytes(cfg Config) int64 {
+	return train.EstimateMemory(analyticVanillaSpec(cfg, cfg.Batch)).Total()
+}
+
+// fullFTEstimator prices full fine-tuning under a plan: vanilla accounting
+// with the plan's batch, and checkpointed-segment tape reduction when the
+// recompute rung is on.
+func fullFTEstimator(cfg Config) govern.Estimator {
+	return func(pl govern.Plan) int64 {
+		spec := analyticVanillaSpec(cfg, pl.Batch)
+		if pl.Recompute && pl.Segments > 1 {
+			spec = train.CheckpointedSpec(spec, pl.Segments)
+		}
+		return train.EstimateMemory(spec).Total()
+	}
+}
+
+// frozenBackboneEstimator prices PEFT-style methods (LoRA, LST): frozen
+// fp32 weights, grads/opt only for trainElems adapter elements, and a tape
+// of tapeBlocks backbone blocks (full depth for LoRA, none for LST).
+func frozenBackboneEstimator(cfg Config, trainElems int64, tapeBlocks int) govern.Estimator {
+	return func(pl govern.Plan) int64 {
+		spec := analyticVanillaSpec(cfg, pl.Batch)
+		spec.TrainableElems = trainElems
+		spec.TapeBlocks = tapeBlocks
+		return train.EstimateMemory(spec).Total()
+	}
+}
+
+// layerFreezeEstimator prices last-k tuning under a plan whose WindowSize
+// carries k: tape and trainables span the top k blocks plus head.
+func layerFreezeEstimator(cfg Config) govern.Estimator {
+	return func(pl govern.Plan) int64 {
+		m := cfg.Model
+		m.ExitHeads = true
+		spec := analyticVanillaSpec(cfg, pl.Batch)
+		spec.TapeBlocks = pl.WindowSize
+		spec.TrainableElems = int64(pl.WindowSize)*(train.BlockWeightElems(m)+2*int64(m.Dim)) +
+			int64(m.Dim) + int64(m.Dim)*int64(m.Vocab)
+		return train.EstimateMemory(spec).Total()
+	}
+}
+
+// loraElems counts LoRA adapter elements at rank r: two r-factor matrices
+// per block linear (four d×d attention projections, three d×h SwiGLU
+// matrices).
+func loraElems(cfg nn.Config, rank int) int64 {
+	d, h, r := int64(cfg.Dim), int64(cfg.Hidden), int64(rank)
+	per := 4*(r*d+r*d) + 3*(r*d+r*h)
+	return int64(cfg.Layers) * per
+}
+
+// lstElems counts LST side-network elements at the given reduction: a
+// down-projection into the side width plus a side block per layer, and a
+// side head.
+func lstElems(cfg nn.Config, reduction int) int64 {
+	d, v := int64(cfg.Dim), int64(cfg.Vocab)
+	sd := d / int64(reduction)
+	if sd < 1 {
+		sd = 1
+	}
+	perLayer := d*sd + sd*sd // ladder down-projection + side mixing
+	return int64(cfg.Layers)*perLayer + sd*v
+}

@@ -6,6 +6,7 @@ import (
 	"edgellm/internal/adapt"
 	ag "edgellm/internal/autograd"
 	"edgellm/internal/data"
+	"edgellm/internal/govern"
 	"edgellm/internal/hwsim"
 	"edgellm/internal/nn"
 	"edgellm/internal/obsv"
@@ -61,13 +62,14 @@ func NewTask(seed int64, vocab int) Task {
 
 // EnsureBase pretrains the shared base model (full fine-tuning on the
 // source corpus) once and stores its parameter snapshot. Idempotent.
-func (t *Task) EnsureBase(cfg Config, iters int) {
+// ctx bounds the pretraining loop (stall watchdog / suite deadline).
+func (t *Task) EnsureBase(ctx context.Context, cfg Config, iters int) {
 	if t.Base != nil || iters <= 0 {
 		return
 	}
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	m.SetAllTrainable(true)
-	trainLM(m, m, t.Pretrain, cfg, iters, tensor.NewRNG(cfg.Seed+100))
+	trainLM(ctx, m, m, t.Pretrain, cfg, iters, tensor.NewRNG(cfg.Seed+100))
 	t.Base = snapshotParams(m)
 }
 
@@ -141,10 +143,16 @@ func countElems(ps []nn.NamedParam) int64 {
 }
 
 // trainLM runs a plain (non-windowed) tuning loop: final-head CE over
-// corpus batches, updating exactly the given module's parameters.
-func trainLM(m *nn.Model, mod nn.Module, c *data.Corpus, cfg Config, iters int, rng *tensor.RNG) {
+// corpus batches, updating exactly the given module's parameters. The loop
+// beats the stall watchdog once per step and stops at the iteration
+// boundary when ctx is cancelled.
+func trainLM(ctx context.Context, m *nn.Model, mod nn.Module, c *data.Corpus, cfg Config, iters int, rng *tensor.RNG) {
 	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	tr.Heartbeat = govern.HeartbeatFunc(ctx)
 	for i := 0; i < iters; i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		inputs, targets := c.Batch(rng, cfg.Batch, cfg.Seq)
 		loss := ag.CrossEntropy(m.Logits(inputs), targets, -1)
 		tr.Step(mod, loss)
@@ -152,13 +160,49 @@ func trainLM(m *nn.Model, mod nn.Module, c *data.Corpus, cfg Config, iters int, 
 }
 
 // trainMCQ is trainLM over MCQ training sequences.
-func trainMCQ(m *nn.Model, mod nn.Module, d *data.MCQDataset, cfg Config, iters int, rng *tensor.RNG) {
+func trainMCQ(ctx context.Context, m *nn.Model, mod nn.Module, d *data.MCQDataset, cfg Config, iters int, rng *tensor.RNG) {
 	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	tr.Heartbeat = govern.HeartbeatFunc(ctx)
 	for i := 0; i < iters; i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		inputs, targets := d.MCQBatch(rng, cfg.Batch, -1)
 		loss := ag.CrossEntropy(m.Logits(inputs), targets, -1)
 		tr.Step(mod, loss)
 	}
+}
+
+// fullFTTrain runs full fine-tuning under an admitted resource plan:
+// plain steps normally, checkpointed-recompute steps when the governor's
+// recompute rung fired (gradients are identical; only tape residency
+// changes). next supplies one batch per iteration.
+func fullFTTrain(ctx context.Context, m *nn.Model, next func() ([][]int, []int), cfg Config, iters int, pl govern.Plan) {
+	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+	tr.Heartbeat = govern.HeartbeatFunc(ctx)
+	for i := 0; i < iters; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		inputs, targets := next()
+		if pl.Recompute && pl.Segments > 1 {
+			train.CheckpointedStep(m, inputs, targets, pl.Segments)
+			tr.ApplyGrads(m)
+		} else {
+			loss := ag.CrossEntropy(m.Logits(inputs), targets, -1)
+			tr.Step(m, loss)
+		}
+	}
+}
+
+// admitMethod runs a method's plan through the active governor (if any)
+// under a task label unique to the method and its configuration.
+func admitMethod(name string, cfg Config, pl govern.Plan, est govern.Estimator) govern.Plan {
+	gov := activeGovernor()
+	if !gov.Enabled() {
+		return pl
+	}
+	return gov.Admit(name+"@"+obsv.HashConfig(cfg), "admission", pl, est)
 }
 
 // evalLM measures held-out perplexity with a forward function.
@@ -171,11 +215,18 @@ func evalLM(task Task, cfg Config, opts RunOpts, forward func([][]int) *ag.Value
 // uncompressed model, loss at the final head, full-depth backprop.
 func RunVanillaFT(ctx context.Context, cfg Config, task Task, opts RunOpts) MethodResult {
 	defer methodSpan(ctx, "vanilla-ft").End()
+	// Under a governor, vanilla FT can degrade by switching to checkpointed
+	// recompute (segment doubling up to full depth) and then halving batch.
+	pl := admitMethod("vanilla-ft", cfg, govern.Plan{MaxSegments: cfg.Model.Layers, Batch: cfg.Batch},
+		fullFTEstimator(cfg))
+	cfg.Batch = pl.Batch
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(true)
 	rng := tensor.NewRNG(cfg.Seed + 1)
-	trainLM(m, m, task.Train, cfg, opts.Iters, rng)
+	fullFTTrain(ctx, m, func() ([][]int, []int) {
+		return task.Train.Batch(rng, cfg.Batch, cfg.Seq)
+	}, cfg, opts.Iters, pl)
 
 	res := MethodResult{Name: "Vanilla FT"}
 	res.PPL = evalLM(task, cfg, opts, func(b [][]int) *ag.Value { return m.Logits(b) })
@@ -183,11 +234,18 @@ func RunVanillaFT(ctx context.Context, cfg Config, task Task, opts RunOpts) Meth
 		mq := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 		task.ApplyBase(mq)
 		mq.SetAllTrainable(true)
-		trainMCQ(mq, mq, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
+		rngQ := tensor.NewRNG(cfg.Seed + 2)
+		fullFTTrain(ctx, mq, func() ([][]int, []int) {
+			return task.MCQ.MCQBatch(rngQ, cfg.Batch, -1)
+		}, cfg, opts.MCQIters, pl)
 		res.MCQAcc = train.MCQAccuracy(func(b [][]int) *ag.Value { return mq.Logits(b) }, task.MCQ.Test)
 	}
 	res.TrainableParams = int64(nn.NumParams(m))
-	res.Memory = train.EstimateMemory(train.VanillaSpec(cfg.Model, cfg.Batch, cfg.Seq, m, 8))
+	spec := train.VanillaSpec(cfg.Model, cfg.Batch, cfg.Seq, m, 8)
+	if pl.Recompute && pl.Segments > 1 {
+		spec = train.CheckpointedSpec(spec, pl.Segments)
+	}
+	res.Memory = train.EstimateMemory(spec)
 	res.IterCost = hwsim.IterationCost(cfg.Device, hwsim.NewSearchedScheduler(),
 		hwsim.VanillaIteration(cfg.Model, cfg.Batch, cfg.Seq))
 	return res
@@ -198,12 +256,19 @@ func RunVanillaFT(ctx context.Context, cfg Config, task Task, opts RunOpts) Meth
 // segment's tape at the cost of a second forward pass per iteration.
 func RunGradCheckpoint(ctx context.Context, cfg Config, task Task, opts RunOpts, segments int) MethodResult {
 	defer methodSpan(ctx, "grad-ckpt").End()
+	// Already on recompute: the governor can only double segments (toward
+	// one block per segment) and then halve batch.
+	pl := admitMethod("grad-ckpt", cfg,
+		govern.Plan{Recompute: true, Segments: segments, MaxSegments: cfg.Model.Layers, Batch: cfg.Batch},
+		fullFTEstimator(cfg))
+	segments, cfg.Batch = pl.Segments, pl.Batch
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(true)
 	rng := tensor.NewRNG(cfg.Seed + 1)
 	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
-	for i := 0; i < opts.Iters; i++ {
+	tr.Heartbeat = govern.HeartbeatFunc(ctx)
+	for i := 0; i < opts.Iters && ctx.Err() == nil; i++ {
 		inputs, targets := task.Train.Batch(rng, cfg.Batch, cfg.Seq)
 		train.CheckpointedStep(m, inputs, targets, segments)
 		tr.ApplyGrads(m)
@@ -216,8 +281,9 @@ func RunGradCheckpoint(ctx context.Context, cfg Config, task Task, opts RunOpts,
 		task.ApplyBase(mq)
 		mq.SetAllTrainable(true)
 		trQ := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+		trQ.Heartbeat = govern.HeartbeatFunc(ctx)
 		rngQ := tensor.NewRNG(cfg.Seed + 2)
-		for i := 0; i < opts.MCQIters; i++ {
+		for i := 0; i < opts.MCQIters && ctx.Err() == nil; i++ {
 			inputs, targets := task.MCQ.MCQBatch(rngQ, cfg.Batch, -1)
 			train.CheckpointedStep(mq, inputs, targets, segments)
 			trQ.ApplyGrads(mq)
@@ -242,12 +308,17 @@ func RunGradCheckpoint(ctx context.Context, cfg Config, task Task, opts RunOpts,
 // on every block linear, full-depth backprop through frozen weights.
 func RunLoRA(ctx context.Context, cfg Config, task Task, opts RunOpts, rank int) MethodResult {
 	defer methodSpan(ctx, "lora").End()
+	// LoRA's only degradable knob is batch: the tape must span full depth
+	// and the adapters are already tiny.
+	pl := admitMethod("lora", cfg, govern.Plan{Batch: cfg.Batch},
+		frozenBackboneEstimator(cfg, loraElems(cfg.Model, rank), cfg.Model.Layers))
+	cfg.Batch = pl.Batch
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(false)
 	set := adapt.InstallLoRA(m, tensor.NewRNG(cfg.Seed+3), rank, 2*float32(rank))
 	rng := tensor.NewRNG(cfg.Seed + 1)
-	trainLM(m, set, task.Train, cfg, opts.Iters, rng)
+	trainLM(ctx, m, set, task.Train, cfg, opts.Iters, rng)
 
 	res := MethodResult{Name: "LoRA"}
 	res.PPL = evalLM(task, cfg, opts, func(b [][]int) *ag.Value { return m.Logits(b) })
@@ -256,7 +327,7 @@ func RunLoRA(ctx context.Context, cfg Config, task Task, opts RunOpts, rank int)
 		task.ApplyBase(mq)
 		mq.SetAllTrainable(false)
 		setQ := adapt.InstallLoRA(mq, tensor.NewRNG(cfg.Seed+3), rank, 2*float32(rank))
-		trainMCQ(mq, setQ, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
+		trainMCQ(ctx, mq, setQ, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
 		res.MCQAcc = train.MCQAccuracy(func(b [][]int) *ag.Value { return mq.Logits(b) }, task.MCQ.Test)
 	}
 	res.TrainableParams = countElems(set.Params())
@@ -298,6 +369,10 @@ func loraIterationCost(cfg Config) hwsim.Cost {
 // (graph-free) backbone forward.
 func RunLST(ctx context.Context, cfg Config, task Task, opts RunOpts, reduction int) MethodResult {
 	defer methodSpan(ctx, "lst").End()
+	// LST's backbone is frozen and tape-free; batch is the only knob.
+	pl := admitMethod("lst", cfg, govern.Plan{Batch: cfg.Batch},
+		frozenBackboneEstimator(cfg, lstElems(cfg.Model, reduction), 0))
+	cfg.Batch = pl.Batch
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	m.SetAllTrainable(false)
@@ -305,7 +380,8 @@ func RunLST(ctx context.Context, cfg Config, task Task, opts RunOpts, reduction 
 	rng := tensor.NewRNG(cfg.Seed + 1)
 
 	tr := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
-	for i := 0; i < opts.Iters; i++ {
+	tr.Heartbeat = govern.HeartbeatFunc(ctx)
+	for i := 0; i < opts.Iters && ctx.Err() == nil; i++ {
 		inputs, targets := task.Train.Batch(rng, cfg.Batch, cfg.Seq)
 		loss := ag.CrossEntropy(side.Logits(inputs), targets, -1)
 		tr.Step(side, loss)
@@ -319,8 +395,9 @@ func RunLST(ctx context.Context, cfg Config, task Task, opts RunOpts, reduction 
 		mq.SetAllTrainable(false)
 		sideQ := adapt.NewLST(mq, tensor.NewRNG(cfg.Seed+4), reduction)
 		trQ := train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
+		trQ.Heartbeat = govern.HeartbeatFunc(ctx)
 		rngQ := tensor.NewRNG(cfg.Seed + 2)
-		for i := 0; i < opts.MCQIters; i++ {
+		for i := 0; i < opts.MCQIters && ctx.Err() == nil; i++ {
 			inputs, targets := task.MCQ.MCQBatch(rngQ, cfg.Batch, -1)
 			loss := ag.CrossEntropy(sideQ.Logits(inputs), targets, -1)
 			trQ.Step(sideQ, loss)
@@ -360,11 +437,16 @@ func RunLST(ctx context.Context, cfg Config, task Task, opts RunOpts, reduction 
 // boundary.
 func RunLayerFreeze(ctx context.Context, cfg Config, task Task, opts RunOpts, k int) MethodResult {
 	defer methodSpan(ctx, "layer-freeze").End()
+	// The tuned span carries k in the plan's window slot: the governor can
+	// freeze more layers, then halve batch.
+	pl := admitMethod("layer-freeze", cfg, govern.Plan{WindowSize: k, MinWindow: 1, Batch: cfg.Batch},
+		layerFreezeEstimator(cfg))
+	k, cfg.Batch = pl.WindowSize, pl.Batch
 	m := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 	task.ApplyBase(m)
 	mod := freezeTopK(m, k)
 	rng := tensor.NewRNG(cfg.Seed + 1)
-	trainLM(m, mod, task.Train, cfg, opts.Iters, rng)
+	trainLM(ctx, m, mod, task.Train, cfg, opts.Iters, rng)
 
 	res := MethodResult{Name: "Layer-freeze"}
 	res.PPL = evalLM(task, cfg, opts, func(b [][]int) *ag.Value { return m.Logits(b) })
@@ -372,7 +454,7 @@ func RunLayerFreeze(ctx context.Context, cfg Config, task Task, opts RunOpts, k 
 		mq := nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed))
 		task.ApplyBase(mq)
 		modQ := freezeTopK(mq, k)
-		trainMCQ(mq, modQ, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
+		trainMCQ(ctx, mq, modQ, task.MCQ, cfg, opts.MCQIters, tensor.NewRNG(cfg.Seed+2))
 		res.MCQAcc = train.MCQAccuracy(func(b [][]int) *ag.Value { return mq.Logits(b) }, task.MCQ.Test)
 	}
 	res.TrainableParams = countElems(mod.Params())
@@ -414,6 +496,8 @@ func RunEdgeLLM(ctx context.Context, cfg Config, task Task, opts RunOpts) Method
 		panic(err)
 	}
 	p.Trace = sp
+	p.Ctx = ctx
+	p.Trainer.Heartbeat = govern.HeartbeatFunc(ctx)
 	task.ApplyBase(p.Model)
 	calib, _ := task.Train.SequentialBatches(cfg.Batch, cfg.Seq, 2)
 	var calibFlat [][]int
@@ -435,6 +519,8 @@ func RunEdgeLLM(ctx context.Context, cfg Config, task Task, opts RunOpts) Method
 			panic(err)
 		}
 		pq.Trace = sp
+		pq.Ctx = ctx
+		pq.Trainer.Heartbeat = govern.HeartbeatFunc(ctx)
 		task.ApplyBase(pq.Model)
 		if err := pq.Compress(calibFlat); err != nil {
 			panic(err)

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -108,9 +109,17 @@ type Pipeline struct {
 	// recorder; inert when observability is disabled.
 	Trace obsv.Span
 
+	// Ctx, when set, bounds the tuning loops: Tune and TuneMCQ stop at the
+	// current iteration when it is cancelled (by the stall watchdog or the
+	// suite deadline). Nil means run to completion.
+	Ctx context.Context
+
 	rng        *tensor.RNG
 	candidates []luc.Candidate
 	compressed bool
+	// gstate is non-nil when a resource governor admitted this pipeline;
+	// see governed.go.
+	gstate *governedState
 }
 
 // New builds the model and pipeline from cfg.
@@ -126,11 +135,16 @@ func New(cfg Config) (*Pipeline, error) {
 	if cands == nil {
 		cands = luc.DefaultCandidates()
 	}
+	// Under an active resource governor the config is admitted against the
+	// memory budget first; any degradation (smaller window, tighter bits,
+	// recompute, smaller batch) lands in cfg before anything is built.
+	cfg, gstate := governPipeline(cfg, cands)
 	p := &Pipeline{
 		Cfg:        cfg,
 		Model:      nn.NewModel(cfg.Model, tensor.NewRNG(cfg.Seed)),
 		rng:        tensor.NewRNG(cfg.Seed + 1),
 		candidates: cands,
+		gstate:     gstate,
 	}
 	p.Trainer = train.NewTrainer(train.NewAdamW(cfg.WeightDecay), cfg.LR, cfg.ClipNorm)
 	return p, nil
@@ -180,6 +194,9 @@ func (p *Pipeline) importanceFromSens() []float64 {
 // uncompressed model is allowed for ablations).
 func (p *Pipeline) StartTuning() error {
 	cfg := adapt.TunerConfig{WindowSize: p.Cfg.WindowSize, Strategy: p.Cfg.Strategy}
+	if p.gstate != nil {
+		cfg.Recompute = p.gstate.plan.Recompute
+	}
 	if p.Cfg.Strategy == adapt.StrategySensitivity {
 		if p.Sens == nil {
 			return fmt.Errorf("core: sensitivity strategy requires Compress first")
@@ -195,14 +212,23 @@ func (p *Pipeline) StartTuning() error {
 }
 
 // TuneStep performs one adaptive tuning iteration on a corpus batch and
-// returns the loss at the window-top exit.
+// returns the loss at the window-top exit. Under a governor the step is
+// re-admitted first, so batch draws see any batch-halving rung.
 func (p *Pipeline) TuneStep(c *data.Corpus) float64 {
+	p.preStepGovern()
 	inputs, targets := c.Batch(p.rng, p.Cfg.Batch, p.Cfg.Seq)
 	loss, _, _ := p.Tuner.Step(p.Trainer, inputs, targets)
 	return loss
 }
 
-// Tune runs iters adaptive tuning iterations and returns the loss curve.
+// cancelled reports whether the pipeline's context (if any) has been
+// cancelled; tuning loops stop at the next iteration boundary.
+func (p *Pipeline) cancelled() bool {
+	return p.Ctx != nil && p.Ctx.Err() != nil
+}
+
+// Tune runs iters adaptive tuning iterations and returns the loss curve
+// (truncated at the cancellation point when Ctx is cancelled mid-loop).
 func (p *Pipeline) Tune(c *data.Corpus, iters int) []float64 {
 	if p.Tuner == nil {
 		if err := p.StartTuning(); err != nil {
@@ -210,9 +236,9 @@ func (p *Pipeline) Tune(c *data.Corpus, iters int) []float64 {
 		}
 	}
 	sp := p.tuneSpan("pipeline.tune", iters)
-	losses := make([]float64, iters)
-	for i := range losses {
-		losses[i] = p.TuneStep(c)
+	losses := make([]float64, 0, iters)
+	for i := 0; i < iters && !p.cancelled(); i++ {
+		losses = append(losses, p.TuneStep(c))
 	}
 	sp.end()
 	return losses
@@ -226,11 +252,12 @@ func (p *Pipeline) TuneMCQ(d *data.MCQDataset, iters int) []float64 {
 		}
 	}
 	sp := p.tuneSpan("pipeline.tune_mcq", iters)
-	losses := make([]float64, iters)
-	for i := range losses {
+	losses := make([]float64, 0, iters)
+	for i := 0; i < iters && !p.cancelled(); i++ {
+		p.preStepGovern()
 		inputs, targets := d.MCQBatch(p.rng, p.Cfg.Batch, -1)
 		loss, _, _ := p.Tuner.Step(p.Trainer, inputs, targets)
-		losses[i] = loss
+		losses = append(losses, loss)
 	}
 	sp.end()
 	return losses

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"edgellm/internal/govern"
 	"edgellm/internal/obsv"
 )
 
@@ -109,10 +110,17 @@ type SuiteOpts struct {
 	// DefaultRetryBackoff.
 	RetryBackoff time.Duration
 	// Inject, when non-nil, is called at the start of every task attempt
-	// with the experiment id and the 0-based attempt number. A returned
-	// error or a panic becomes that attempt's outcome — the
-	// fault-injection seam used by the tests and the CLI's -fault mode.
-	Inject func(id string, attempt int) error
+	// with the attempt's context, the experiment id, and the 0-based
+	// attempt number. A returned error or a panic becomes that attempt's
+	// outcome — the fault-injection seam used by the tests and the CLI's
+	// -fault mode. The context is the watchdog-derived attempt context, so
+	// a stall-mode injection blocks until the watchdog cancels it.
+	Inject func(ctx context.Context, id string, attempt int) error
+	// Govern, when non-nil, enforces resource budgets over the suite: each
+	// attempt runs under the governor's stage watchdog, and experiments
+	// consult the governor (via the installed run state) to admit their
+	// training plans against the memory budget. Nil runs ungoverned.
+	Govern *govern.Governor
 }
 
 func (o SuiteOpts) maxRetries() int {
@@ -173,7 +181,7 @@ func RunAll(ctx context.Context, opts SuiteOpts) ([]*Report, error) {
 		selected = filtered
 	}
 
-	run := &runState{pool: newWorkPool(opts.Parallel), ctx: ctx}
+	run := &runState{pool: newWorkPool(opts.Parallel), ctx: ctx, gov: opts.Govern}
 	prev := activeRun.Swap(run)
 	defer activeRun.Store(prev)
 
@@ -189,7 +197,16 @@ func RunAll(ctx context.Context, opts SuiteOpts) ([]*Report, error) {
 		obsv.Add("suite.experiments_done", 1)
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		// Suite deadline or cancellation: in-flight tasks have drained
+		// (parallelFor waits), so return what completed, with every unrun
+		// experiment visible as a skipped row instead of silently missing.
+		for i, r := range reports {
+			if r == nil {
+				reports[i] = skippedReport(selected[i].ID, err)
+				obsv.Add("suite.tasks_skipped", 1)
+			}
+		}
+		return reports, err
 	}
 	return reports, nil
 }
@@ -228,8 +245,16 @@ func runTask(ctx context.Context, e Experiment, sizes Sizes, opts SuiteOpts) *Re
 
 // runAttempt executes a single attempt of an experiment, converting any
 // panic — from the experiment body or re-propagated out of its grid-level
-// parallelFor — into an error.
+// parallelFor — into an error. With a governor installed, the attempt runs
+// under a stage watchdog: its context is cancelled when the stage deadline
+// or the progress-heartbeat bound fires, and the resulting *StallError
+// (non-retryable) becomes the attempt's outcome.
 func runAttempt(ctx context.Context, e Experiment, sizes Sizes, opts SuiteOpts, attempt int) (rep *Report, err error) {
+	var wd *govern.Watchdog
+	if opts.Govern != nil {
+		ctx, wd = opts.Govern.Budget.Watch(ctx, e.ID)
+		defer wd.Stop()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			obsv.Add("suite.panics_recovered", 1)
@@ -240,6 +265,13 @@ func runAttempt(ctx context.Context, e Experiment, sizes Sizes, opts SuiteOpts, 
 				err = &PanicError{ID: e.ID, Value: r, Stack: debug.Stack()}
 			}
 		}
+		// A fired watchdog outranks whatever error the unwinding produced:
+		// the stall is the root cause, and StallError's non-retryable
+		// marking stops the retry loop from burning more deadlines.
+		if serr := wd.Err(); serr != nil {
+			obsv.Add("suite.stalls_killed", 1)
+			rep, err = nil, serr
+		}
 	}()
 	// Experiments run concurrently, so each gets its own trace track
 	// (complete events on one track must not overlap in time).
@@ -247,7 +279,7 @@ func runAttempt(ctx context.Context, e Experiment, sizes Sizes, opts SuiteOpts, 
 		obsv.L("id", e.ID), obsv.L("attempt", fmt.Sprint(attempt)))
 	defer sp.End()
 	if opts.Inject != nil {
-		if err := opts.Inject(e.ID, attempt); err != nil {
+		if err := opts.Inject(ctx, e.ID, attempt); err != nil {
 			return nil, err
 		}
 	}
@@ -311,6 +343,21 @@ func failedReport(id string, err error) *Report {
 	return r
 }
 
+// skippedReport is the row for an experiment that never ran because the
+// suite stopped first (deadline or cancellation). It counts as failed —
+// the suite's output is incomplete — but is labeled distinctly so a
+// partial Report makes clear which rows were never attempted.
+func skippedReport(id string, cause error) *Report {
+	r := &Report{
+		ID:     id,
+		Title:  "SKIPPED (suite stopped)",
+		Header: []string{"Status", "Reason"},
+		Err:    "skipped: " + cause.Error(),
+	}
+	r.AddRow("skipped", firstLine(cause.Error()))
+	return r
+}
+
 // --- bounded worker pool -----------------------------------------------------
 
 // workPool is a weighted semaphore over worker slots. It is shared between
@@ -330,11 +377,22 @@ func newWorkPool(parallel int) *workPool {
 }
 
 // runState is the context a running RunAll installs for every parallelFor
-// underneath it: the shared worker pool plus the suite's cancellation
-// context.
+// underneath it: the shared worker pool, the suite's cancellation context,
+// and the resource governor (nil when ungoverned).
 type runState struct {
 	pool *workPool
 	ctx  context.Context
+	gov  *govern.Governor
+}
+
+// activeGovernor returns the governor installed by the running RunAll, or
+// nil. Pipelines and methods consult it at admission points without
+// threading it through every constructor.
+func activeGovernor() *govern.Governor {
+	if r := activeRun.Load(); r != nil {
+		return r.gov
+	}
+	return nil
 }
 
 // activeRun is the state installed by the currently running RunAll; nil

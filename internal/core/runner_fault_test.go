@@ -99,7 +99,7 @@ func TestRunAllPermanentErrorNotRetried(t *testing.T) {
 	reports, err := RunAll(context.Background(), SuiteOpts{
 		Sizes: tinySizes(), Parallel: 1, Only: []string{"F1"},
 		RetryBackoff: fastRetry,
-		Inject: func(id string, attempt int) error {
+		Inject: func(_ context.Context, id string, attempt int) error {
 			attempts.Add(1)
 			return &fault.PermanentError{Msg: "broken for good"}
 		},
@@ -122,7 +122,7 @@ func TestRunAllRetryBudgetExhausted(t *testing.T) {
 	reports, err := RunAll(context.Background(), SuiteOpts{
 		Sizes: tinySizes(), Parallel: 1, Only: []string{"F1"},
 		MaxRetries: 2, RetryBackoff: fastRetry,
-		Inject: func(id string, attempt int) error {
+		Inject: func(_ context.Context, id string, attempt int) error {
 			attempts.Add(1)
 			return &fault.TransientError{Msg: fmt.Sprintf("attempt %d", attempt)}
 		},
@@ -145,7 +145,7 @@ func TestRunAllNegativeMaxRetriesDisables(t *testing.T) {
 	reports, err := RunAll(context.Background(), SuiteOpts{
 		Sizes: tinySizes(), Parallel: 1, Only: []string{"F1"},
 		MaxRetries: -1, RetryBackoff: fastRetry,
-		Inject: func(string, int) error {
+		Inject: func(context.Context, string, int) error {
 			attempts.Add(1)
 			return &fault.TransientError{Msg: "transient"}
 		},
@@ -166,7 +166,7 @@ func TestRunAllCancelledMidRun(t *testing.T) {
 	defer cancel()
 	_, err := RunAll(ctx, SuiteOpts{
 		Sizes: tinySizes(), Parallel: 2, Only: analyticOnly,
-		Inject: func(string, int) error {
+		Inject: func(context.Context, string, int) error {
 			cancel()
 			return nil
 		},

@@ -11,6 +11,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -123,6 +124,11 @@ const (
 	ModeFlaky Mode = "flaky"
 	// ModeFail returns a permanent, non-retryable error on every attempt.
 	ModeFail Mode = "fail"
+	// ModeStall blocks until the attempt's context is cancelled — the
+	// deterministic hung-experiment model the resource governor's stall
+	// watchdog is tested against. Without a watchdog (or other cancel),
+	// the task blocks until the whole suite is cancelled.
+	ModeStall Mode = "stall"
 )
 
 // Injector maps experiment ids to injected failure modes. Its Hook method
@@ -148,10 +154,10 @@ func ParseSpec(spec string) (*Injector, error) {
 			return nil, fmt.Errorf("fault: bad injection %q (want mode=ID)", part)
 		}
 		switch Mode(mode) {
-		case ModePanic, ModeFlaky, ModeFail:
+		case ModePanic, ModeFlaky, ModeFail, ModeStall:
 			in.modes[strings.ToUpper(strings.TrimSpace(id))] = Mode(mode)
 		default:
-			return nil, fmt.Errorf("fault: unknown injection mode %q (want panic, flaky, or fail)", mode)
+			return nil, fmt.Errorf("fault: unknown injection mode %q (want panic, flaky, fail, or stall)", mode)
 		}
 	}
 	if len(in.modes) == 0 {
@@ -183,8 +189,9 @@ func (in *Injector) Describe() string {
 }
 
 // Hook is the runner injection seam: it is called at the start of every
-// task attempt and fails (or panics) according to the configured mode.
-func (in *Injector) Hook(id string, attempt int) error {
+// task attempt and fails (or panics, or hangs) according to the configured
+// mode. ctx is the attempt's context; ModeStall blocks on it.
+func (in *Injector) Hook(ctx context.Context, id string, attempt int) error {
 	switch in.modes[id] {
 	case ModePanic:
 		panic(fmt.Sprintf("fault: injected panic in %s (attempt %d)", id, attempt))
@@ -194,6 +201,29 @@ func (in *Injector) Hook(id string, attempt int) error {
 		}
 	case ModeFail:
 		return &PermanentError{Msg: fmt.Sprintf("injected permanent failure in %s", id)}
+	case ModeStall:
+		return Stall(ctx, id)
+	}
+	return nil
+}
+
+// Stall models a hung task: it blocks until ctx is cancelled, then returns
+// a permanent error naming the stall. It never returns nil and never
+// returns before cancellation, so the only way past it is a watchdog (or
+// suite-level) cancel — exactly the behaviour a deadlocked experiment
+// would have, minus the leaked goroutine.
+func Stall(ctx context.Context, id string) error {
+	<-ctx.Done()
+	return &PermanentError{Msg: fmt.Sprintf("injected stall in %s released by cancellation (%v)", id, ctx.Err())}
+}
+
+// StallNth blocks on the Nth activation (1-based) of the tripwire until
+// ctx is cancelled; other activations pass through. It lets tests plant a
+// deterministic hang in the middle of a training loop rather than at
+// attempt start.
+func (t *Tripwire) StallNth(ctx context.Context, id string) error {
+	if t.Hit() {
+		return Stall(ctx, id)
 	}
 	return nil
 }

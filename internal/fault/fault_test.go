@@ -2,6 +2,7 @@ package fault
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -121,11 +122,11 @@ func TestInjectorModes(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Untargeted id: no effect on any attempt.
-	if err := in.Hook("T1", 0); err != nil {
+	if err := in.Hook(context.Background(), "T1", 0); err != nil {
 		t.Fatalf("untargeted id errored: %v", err)
 	}
 	// Flaky: first attempt fails retryably, second passes.
-	err = in.Hook("T3", 0)
+	err = in.Hook(context.Background(), "T3", 0)
 	if err == nil {
 		t.Fatal("flaky target must fail attempt 0")
 	}
@@ -133,7 +134,7 @@ func TestInjectorModes(t *testing.T) {
 	if !errors.As(err, &te) {
 		t.Fatalf("flaky failure %T is not transient", err)
 	}
-	if err := in.Hook("T3", 1); err != nil {
+	if err := in.Hook(context.Background(), "T3", 1); err != nil {
 		t.Fatalf("flaky target must pass attempt 1: %v", err)
 	}
 	// Panic: every attempt panics.
@@ -144,7 +145,7 @@ func TestInjectorModes(t *testing.T) {
 					t.Fatalf("panic target must panic on attempt %d", attempt)
 				}
 			}()
-			in.Hook("F5", attempt)
+			in.Hook(context.Background(), "F5", attempt)
 		}()
 	}
 }
@@ -155,7 +156,7 @@ func TestInjectorFailMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	for attempt := 0; attempt < 3; attempt++ {
-		err := in.Hook("A2", attempt)
+		err := in.Hook(context.Background(), "A2", attempt)
 		if err == nil {
 			t.Fatalf("fail target must error on attempt %d", attempt)
 		}

@@ -58,6 +58,23 @@ func DefaultCandidates() []Candidate {
 	return cs
 }
 
+// MinEffectiveBits returns the lowest effective bits any candidate in the
+// grid can reach — the floor below which no bit-budget target is
+// achievable. The resource governor uses it to bound its tighten-bits
+// degradation rung.
+func MinEffectiveBits(cands []Candidate) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	min := cands[0].EffectiveBits()
+	for _, c := range cands[1:] {
+		if eb := c.EffectiveBits(); eb < min {
+			min = eb
+		}
+	}
+	return min
+}
+
 // Policy assigns one candidate index (into the candidate grid) per layer.
 type Policy struct {
 	// Choice[i] indexes the candidate assigned to block i.

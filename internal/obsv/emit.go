@@ -33,6 +33,7 @@ type Event struct {
 	Fields       map[string]float64 `json:"fields,omitempty"`
 	Manifest     *Manifest          `json:"manifest,omitempty"`
 	Summary      *Summary           `json:"summary,omitempty"`
+	Govern       *GovernRecord      `json:"govern,omitempty"`
 
 	// SpanID/ParentID link span events into the run's span tree; 0 means
 	// "none" (root span, or a pre-hierarchy stream).

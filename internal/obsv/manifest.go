@@ -28,6 +28,13 @@ type Manifest struct {
 	// Pool records whether the tensor arena was enabled ("on"/"off"),
 	// empty for tools that predate or don't expose the knob.
 	Pool string `json:"pool,omitempty"`
+	// Govern records whether the resource governor was active
+	// ("on"/"off"), empty for runs that predate the knob.
+	Govern string `json:"govern,omitempty"`
+	// MemBudgetBytes is the governor's hard memory budget (0 = none).
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+	// StageTimeoutMS is the governor's per-stage deadline (0 = none).
+	StageTimeoutMS float64 `json:"stage_timeout_ms,omitempty"`
 }
 
 // NewManifest builds a manifest for a run of `tool` with the given root

@@ -33,17 +33,29 @@ func CheckpointedStep(m *nn.Model, inputs [][]int, targets []int, segments int) 
 		starts[s] = s * L / segments
 	}
 
-	// --- tape-free forward, keeping boundary activations -------------------
+	// --- forward, keeping only boundary activations ------------------------
 	// Embedding runs with its tape (cheap, and its params need grads).
 	embed := m.Embed(inputs)
 	boundaries := make([]*ag.Value, segments+1)
 	boundaries[0] = embed.Detach()
 	x := boundaries[0]
 	for s := 0; s < segments; s++ {
+		top := x
 		for i := starts[s]; i < starts[s+1]; i++ {
-			x = m.Blocks[i].Forward(x, b, t)
+			top = m.Blocks[i].Forward(top, b, t)
 		}
-		x = x.Detach() // no tape was recorded (input was constant) — keep data only
+		// The blocks' trainable parameters make this pass record a tape
+		// even though its gradients are never wanted. With an arena on,
+		// those pooled buffers must go back now — only the boundary data
+		// survives (cloned out first, since releasing recycles it);
+		// without an arena the graph is simply dropped for the GC.
+		if ag.ActivePool() != nil && top.RequiresGrad {
+			data := top.Data.Clone()
+			ag.ReleaseTape(top)
+			x = ag.Const(data)
+		} else {
+			x = top.Detach() // keep data only
+		}
 		boundaries[s+1] = x
 	}
 

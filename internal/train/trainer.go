@@ -77,6 +77,11 @@ type Trainer struct {
 	// never called on skipped steps or when the global recorder is off.
 	GradHook func(params []nn.NamedParam)
 
+	// Heartbeat, when set, is invoked at the start of every Step and
+	// ApplyGrads call — the progress signal the resource governor's stall
+	// watchdog listens to. It must be cheap and must not panic.
+	Heartbeat func()
+
 	step int
 	// badStreak counts consecutive skipped (non-finite) steps.
 	badStreak int
@@ -127,6 +132,22 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // non-finite steps, and the effective learning rate. Disabled, the
 // instrumentation costs a single nil check.
 func (t *Trainer) Step(m nn.Module, loss *ag.Value) float64 {
+	if t.Heartbeat != nil {
+		t.Heartbeat()
+	}
+	// A panic mid-step (a crashing optimizer, an injected fault in a hook,
+	// a kernel bug) would otherwise strand the live tape's pooled buffers:
+	// nothing downstream ever releases a graph the step did not finish.
+	// Release on the way out — ReleaseTape and ZeroGrad are idempotent, so
+	// paths that already released stay correct — then re-panic for the
+	// runner's per-task recovery.
+	defer func() {
+		if r := recover(); r != nil {
+			releaseLoss(loss)
+			nn.ZeroGrads(m)
+			panic(r)
+		}
+	}()
 	obs := obsv.Global()
 	var start time.Time
 	var allocs0 uint64
@@ -191,6 +212,17 @@ func (t *Trainer) heapAllocObjects() uint64 {
 // CheckpointedStep, which runs its own backward pass) and clears them. The
 // same non-finite-gradient guard as Step applies.
 func (t *Trainer) ApplyGrads(m nn.Module) {
+	if t.Heartbeat != nil {
+		t.Heartbeat()
+	}
+	// Same panic hygiene as Step: a crash mid-update must not strand the
+	// accumulated (pooled) gradients.
+	defer func() {
+		if r := recover(); r != nil {
+			nn.ZeroGrads(m)
+			panic(r)
+		}
+	}()
 	obs := obsv.Global()
 	var start time.Time
 	var allocs0 uint64
