@@ -8,10 +8,16 @@
 //   - the parallel backward kernels must beat their single-band serial
 //     variants by the baseline's min_speedup — checked only when the
 //     benchmarks ran at ≥4 procs, since the speedup criterion is defined
-//     on ≥4 cores.
+//     on ≥4 cores;
+//   - benchmarks reporting the custom tok/s metric (the decode suite) must
+//     stay above the baseline's tok_s floor minus the tolerance, and any
+//     extra speedup pairs the baseline declares (e.g. batch-8 decode vs
+//     one-at-a-time) must reach their min ratio on ≥4 procs.
 //
 // Wall-clock ns/op is recorded in the artifact but never gated: it is not
-// comparable across machines.
+// comparable across machines. The decode baseline's tok/s floors are set
+// far below any observed run for the same reason — they catch collapse
+// (an accidental O(n²) step, a lost cache), not drift.
 //
 // Usage:
 //
@@ -37,6 +43,7 @@ type benchResult struct {
 	Iterations int64   `json:"iterations"`
 	NsOp       float64 `json:"ns_op"`
 	MBs        float64 `json:"mb_s,omitempty"`
+	TokS       float64 `json:"tok_s,omitempty"`
 	BOp        int64   `json:"b_op"`
 	AllocsOp   int64   `json:"allocs_op"`
 }
@@ -51,6 +58,20 @@ type report struct {
 type gate struct {
 	BOp      int64 `json:"b_op"`
 	AllocsOp int64 `json:"allocs_op"`
+	// TokS, when > 0, is a throughput floor on the benchmark's custom
+	// tok/s metric: the run must reach TokS·(1 − tolerance). Baseline
+	// values are set conservatively (well below a cold CI runner) because
+	// throughput, unlike allocs, is machine-dependent.
+	TokS float64 `json:"tok_s,omitempty"`
+}
+
+// speedupSpec names a (parallel, serial) benchmark pair whose ns/op ratio
+// must reach Min (the baseline's min_speedup when 0). Pairs are gated only
+// when the run used ≥4 procs.
+type speedupSpec struct {
+	Parallel string  `json:"parallel"`
+	Serial   string  `json:"serial"`
+	Min      float64 `json:"min,omitempty"`
 }
 
 type baseline struct {
@@ -61,13 +82,30 @@ type baseline struct {
 	// kernels, enforced only when the run used ≥4 procs.
 	MinSpeedup float64         `json:"min_speedup"`
 	Gates      map[string]gate `json:"gates"`
+	// Speedups adds baseline-specific pairs (e.g. the decode baseline's
+	// batch-vs-serial throughput ratio) to the built-in kernel pairs.
+	Speedups map[string]speedupSpec `json:"speedups,omitempty"`
 }
 
-// speedupPairs maps a derived-speedup name to its (parallel, serial)
-// benchmark pair. MatMulT and TMatMul are the backward-pass kernels.
-var speedupPairs = map[string][2]string{
-	"matmult_parallel_vs_serial": {"KernelMatMulT512", "KernelMatMulTSerial512"},
-	"tmatmul_parallel_vs_serial": {"KernelTMatMul512", "KernelTMatMulSerial512"},
+// builtinSpeedups are the kernel pairs every run derives. MatMulT and
+// TMatMul are the backward-pass kernels.
+var builtinSpeedups = map[string]speedupSpec{
+	"matmult_parallel_vs_serial": {Parallel: "KernelMatMulT512", Serial: "KernelMatMulTSerial512"},
+	"tmatmul_parallel_vs_serial": {Parallel: "KernelTMatMul512", Serial: "KernelTMatMulSerial512"},
+}
+
+// speedupPairs merges the built-in kernel pairs with a baseline's own.
+func speedupPairs(base *baseline) map[string]speedupSpec {
+	pairs := map[string]speedupSpec{}
+	for name, spec := range builtinSpeedups {
+		pairs[name] = spec
+	}
+	if base != nil {
+		for name, spec := range base.Speedups {
+			pairs[name] = spec
+		}
+	}
+	return pairs
 }
 
 func main() {
@@ -86,6 +124,15 @@ func main() {
 		r = f
 	}
 
+	var base *baseline
+	if *basePath != "" {
+		b, err := loadBaseline(*basePath)
+		if err != nil {
+			fatal(err)
+		}
+		base = &b
+	}
+
 	rep := report{
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
@@ -97,7 +144,7 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
-	rep.Speedups = deriveSpeedups(rep.Benchmarks)
+	rep.Speedups = deriveSpeedups(rep.Benchmarks, speedupPairs(base))
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -108,14 +155,10 @@ func main() {
 	}
 	fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 
-	if *basePath == "" {
+	if base == nil {
 		return
 	}
-	base, err := loadBaseline(*basePath)
-	if err != nil {
-		fatal(err)
-	}
-	if errs := check(rep, base); len(errs) > 0 {
+	if errs := check(rep, *base); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL: %v\n", e)
 		}
@@ -160,6 +203,8 @@ func parseBench(r io.Reader, out map[string]benchResult) error {
 				res.NsOp = v
 			case "MB/s":
 				res.MBs = v
+			case "tok/s":
+				res.TokS = v
 			case "B/op":
 				res.BOp = int64(v)
 			case "allocs/op":
@@ -171,11 +216,11 @@ func parseBench(r io.Reader, out map[string]benchResult) error {
 	return sc.Err()
 }
 
-func deriveSpeedups(benches map[string]benchResult) map[string]float64 {
+func deriveSpeedups(benches map[string]benchResult, pairs map[string]speedupSpec) map[string]float64 {
 	out := map[string]float64{}
-	for name, pair := range speedupPairs {
-		par, okP := benches[pair[0]]
-		ser, okS := benches[pair[1]]
+	for name, spec := range pairs {
+		par, okP := benches[spec.Parallel]
+		ser, okS := benches[spec.Serial]
 		if okP && okS && par.NsOp > 0 {
 			out[name] = ser.NsOp / par.NsOp
 		}
@@ -220,15 +265,26 @@ func check(rep report, base baseline) []error {
 			errs = append(errs, fmt.Errorf("%s: %d B/op exceeds baseline %d (+%.0f%% allowed)",
 				name, got.BOp, g.BOp, base.Tolerance*100))
 		}
+		if g.TokS > 0 {
+			floor := g.TokS * (1 - base.Tolerance)
+			if got.TokS < floor {
+				errs = append(errs, fmt.Errorf("%s: %.0f tok/s below baseline %.0f (−%.0f%% allowed)",
+					name, got.TokS, g.TokS, base.Tolerance*100))
+			}
+		}
 	}
-	for name, pair := range speedupPairs {
-		par, ok := rep.Benchmarks[pair[0]]
+	for name, spec := range speedupPairs(&base) {
+		par, ok := rep.Benchmarks[spec.Parallel]
 		if !ok || par.Procs < 4 {
 			continue // speedup criterion is defined on ≥4 cores
 		}
-		if s, ok := rep.Speedups[name]; ok && s < base.MinSpeedup {
+		min := spec.Min
+		if min <= 0 {
+			min = base.MinSpeedup
+		}
+		if s, ok := rep.Speedups[name]; ok && s < min {
 			errs = append(errs, fmt.Errorf("%s: speedup %.2f× below required %.1f× at %d procs",
-				name, s, base.MinSpeedup, par.Procs))
+				name, s, min, par.Procs))
 		}
 	}
 	return errs

@@ -7,6 +7,7 @@
 //	sensitivity  print the per-layer sensitivity profile of a fresh model
 //	train        adapt a model with the Edge-LLM pipeline, save a checkpoint
 //	generate     sample from a saved checkpoint with KV-cached decoding
+//	decode-bench continuous-batching decode throughput and verification
 //	telemetry    summarise or diff JSONL metric files from -metrics runs
 //
 // Run `edgellm <subcommand> -h` for flags.
@@ -53,6 +54,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "decode-bench":
+		err = cmdDecodeBench(os.Args[2:])
 	case "telemetry":
 		err = cmdTelemetry(os.Args[2:])
 	case "-h", "--help", "help":
@@ -78,6 +81,7 @@ subcommands:
   sensitivity   per-layer compression sensitivity profile
   train         adapt a model with the Edge-LLM pipeline and save a checkpoint
   generate      sample tokens from a saved checkpoint (KV-cached decoding)
+  decode-bench  continuous-batching decode throughput + verification (-streams -slots -fault)
   telemetry     summarise one JSONL metrics file or diff two (A-vs-B regression delta)`)
 }
 

@@ -2,10 +2,21 @@ package nn
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"edgellm/internal/tensor"
 )
+
+// mustStep is the test shorthand for a Step that must succeed.
+func mustStep(t *testing.T, d *Decoder, tok int) []float32 {
+	t.Helper()
+	row, err := d.Step(tok)
+	if err != nil {
+		t.Fatalf("Step(%d): %v", tok, err)
+	}
+	return row
+}
 
 func TestDecoderMatchesFullForward(t *testing.T) {
 	m := tinyModel(70)
@@ -14,7 +25,7 @@ func TestDecoderMatchesFullForward(t *testing.T) {
 
 	d := NewDecoder(m)
 	for pos, tok := range seq {
-		row := d.Step(tok)
+		row := mustStep(t, d, tok)
 		want := logitsFull.Row(pos)
 		for j := range row {
 			if math.Abs(float64(row[j]-want[j])) > 1e-4 {
@@ -27,10 +38,11 @@ func TestDecoderMatchesFullForward(t *testing.T) {
 func TestDecoderResetIndependence(t *testing.T) {
 	m := tinyModel(71)
 	d := NewDecoder(m)
-	first := d.Step(5)
-	d.Step(6)
+	// Returned rows alias scratch, so retain a copy across steps.
+	first := append([]float32(nil), mustStep(t, d, 5)...)
+	mustStep(t, d, 6)
 	d.Reset()
-	again := d.Step(5)
+	again := mustStep(t, d, 5)
 	for j := range first {
 		if first[j] != again[j] {
 			t.Fatal("Reset must clear all cached state")
@@ -65,18 +77,19 @@ func TestDecoderGenerateMatchesGenerate(t *testing.T) {
 	}
 }
 
-func TestDecoderOverflowPanics(t *testing.T) {
+func TestDecoderOverflowErrors(t *testing.T) {
 	m := tinyModel(73)
 	d := NewDecoder(m)
 	for i := 0; i < m.Cfg.MaxSeq; i++ {
-		d.Step(1)
+		mustStep(t, d, 1)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("stepping past MaxSeq must panic")
-		}
-	}()
-	d.Step(1)
+	if _, err := d.Step(1); err == nil || !strings.Contains(err.Error(), "MaxSeq") {
+		t.Fatalf("stepping past MaxSeq must error, got %v", err)
+	}
+	// The rejected step must not have advanced the position.
+	if d.Pos() != m.Cfg.MaxSeq {
+		t.Fatalf("rejected step moved Pos to %d", d.Pos())
+	}
 }
 
 func TestDecoderGenerateOverflowErrors(t *testing.T) {
@@ -87,14 +100,82 @@ func TestDecoderGenerateOverflowErrors(t *testing.T) {
 	}
 }
 
-func TestDecoderBadTokenPanics(t *testing.T) {
+func TestDecoderBadTokenErrors(t *testing.T) {
 	m := tinyModel(75)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range token must panic")
+	d := NewDecoder(m)
+	if _, err := d.Step(m.Cfg.Vocab); err == nil {
+		t.Fatal("out-of-range token must error")
+	}
+	if _, err := d.Step(-1); err == nil {
+		t.Fatal("negative token must error")
+	}
+	// Rejection must leave the cache untouched: the next valid step is
+	// position 0.
+	mustStep(t, d, 1)
+	if d.Pos() != 1 {
+		t.Fatalf("Pos after rejected steps = %d, want 1", d.Pos())
+	}
+}
+
+func TestStepBatchValidation(t *testing.T) {
+	m := tinyModel(76)
+	pool := tensor.NewPool()
+	d := NewBatchDecoder(m, 2, pool)
+	defer d.Close()
+
+	if _, err := d.StepBatch(nil, nil); err == nil {
+		t.Fatal("empty batch must error")
+	}
+	if _, err := d.StepBatch([]int{1}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := d.StepBatch([]int{1}, []int{0}); err == nil {
+		t.Fatal("unacquired slot must error")
+	}
+	if _, err := d.StepBatch([]int{1}, []int{5}); err == nil {
+		t.Fatal("out-of-range slot must error")
+	}
+
+	s0, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 != 0 || s1 != 1 {
+		t.Fatalf("Acquire must hand out lowest slots first, got %d,%d", s0, s1)
+	}
+	if _, err := d.Acquire(); err == nil {
+		t.Fatal("acquiring past capacity must error")
+	}
+	if _, err := d.StepBatch([]int{1, 2}, []int{0, 0}); err == nil {
+		t.Fatal("duplicate slot must error")
+	}
+	if _, err := d.StepBatch([]int{1, m.Cfg.Vocab}, []int{0, 1}); err == nil {
+		t.Fatal("out-of-range token must error")
+	}
+	// All rejections above must leave both caches empty and usable.
+	rows, err := d.StepBatch([]int{1, 2}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || d.PosAt(0) != 1 || d.PosAt(1) != 1 {
+		t.Fatalf("valid batch after rejections: rows=%d pos=%d,%d", len(rows), d.PosAt(0), d.PosAt(1))
+	}
+	// A slot at MaxSeq rejects the whole batch without advancing the other.
+	for i := 1; i < m.Cfg.MaxSeq; i++ {
+		if _, err := d.StepBatch([]int{1}, []int{0}); err != nil {
+			t.Fatal(err)
 		}
-	}()
-	NewDecoder(m).Step(m.Cfg.Vocab)
+	}
+	if _, err := d.StepBatch([]int{1, 2}, []int{0, 1}); err == nil {
+		t.Fatal("slot at MaxSeq must reject the batch")
+	}
+	if d.PosAt(1) != 1 {
+		t.Fatalf("rejected batch advanced slot 1 to %d", d.PosAt(1))
+	}
 }
 
 func TestVecMatAgainstMatMul(t *testing.T) {
@@ -122,7 +203,9 @@ func BenchmarkDecoderStepVsFullForward(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			d := NewDecoder(m)
 			for _, tok := range seq {
-				d.Step(tok)
+				if _, err := d.Step(tok); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

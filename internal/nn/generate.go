@@ -69,6 +69,14 @@ func (m *Model) Generate(prompt []int, cfg SampleConfig) ([]int, error) {
 	return Generate(m.Logits, prompt, m.Cfg.MaxSeq, cfg)
 }
 
+// SampleLogits draws one token from a logit row under the sampling config
+// using the caller's RNG. It is the sampling step Generate applies per
+// token, exported so the serve scheduler's per-stream samplers reproduce
+// solo-generation token sequences exactly.
+func SampleLogits(logits []float32, cfg SampleConfig, g *tensor.RNG) int {
+	return sampleToken(logits, cfg, g)
+}
+
 // sampleToken draws one token from a logit row under the sampling config.
 func sampleToken(logits []float32, cfg SampleConfig, g *tensor.RNG) int {
 	if cfg.Temperature == 0 {

@@ -1,0 +1,81 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// Rate measures the throughput of a monotonically increasing event count
+// (tokens decoded, requests served) over a sliding window. Add records
+// events; PerSec reports the rate across the retained window, so short
+// stalls and bursts average out instead of whipsawing a gauge. The zero
+// value is not usable; construct with NewRate. Safe for concurrent use.
+type Rate struct {
+	mu      sync.Mutex
+	window  time.Duration
+	total   int64
+	samples []rateSample // ascending time, pruned to window
+	now     func() time.Time
+}
+
+type rateSample struct {
+	t time.Time
+	n int64 // cumulative count at t
+}
+
+// NewRate returns a rate meter over the given window (e.g. 10s). Windows
+// smaller than a millisecond are clamped up to one second.
+func NewRate(window time.Duration) *Rate {
+	if window < time.Millisecond {
+		window = time.Second
+	}
+	r := &Rate{window: window, now: time.Now}
+	r.samples = append(r.samples, rateSample{t: r.now(), n: 0})
+	return r
+}
+
+// Add records n events at the current time.
+func (r *Rate) Add(n int64) {
+	r.mu.Lock()
+	r.total += n
+	now := r.now()
+	r.samples = append(r.samples, rateSample{t: now, n: r.total})
+	r.prune(now)
+	r.mu.Unlock()
+}
+
+// Total returns the cumulative event count.
+func (r *Rate) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// PerSec returns events per second over the retained window: the count delta
+// between the oldest retained sample and now, divided by the elapsed time.
+// It reports 0 until a measurable interval has passed.
+func (r *Rate) PerSec() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	r.prune(now)
+	oldest := r.samples[0]
+	dt := now.Sub(oldest.t).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(r.total-oldest.n) / dt
+}
+
+// prune drops samples older than the window, always keeping at least one as
+// the rate origin.
+func (r *Rate) prune(now time.Time) {
+	cut := now.Add(-r.window)
+	keep := 0
+	for keep < len(r.samples)-1 && r.samples[keep+1].t.Before(cut) {
+		keep++
+	}
+	if keep > 0 {
+		r.samples = append(r.samples[:0], r.samples[keep:]...)
+	}
+}

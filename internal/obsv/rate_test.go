@@ -1,0 +1,70 @@
+package obsv
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Rate deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestRate(window time.Duration) (*Rate, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := &Rate{window: window, now: clk.now}
+	r.samples = append(r.samples, rateSample{t: clk.t, n: 0})
+	return r, clk
+}
+
+func TestRatePerSec(t *testing.T) {
+	r, clk := newTestRate(10 * time.Second)
+	if got := r.PerSec(); got != 0 {
+		t.Fatalf("empty rate = %v, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		clk.advance(time.Second)
+		r.Add(100)
+	}
+	if got := r.PerSec(); got != 100 {
+		t.Fatalf("steady rate = %v, want 100", got)
+	}
+	if r.Total() != 500 {
+		t.Fatalf("total = %d, want 500", r.Total())
+	}
+}
+
+func TestRateWindowForgetsBursts(t *testing.T) {
+	r, clk := newTestRate(10 * time.Second)
+	clk.advance(time.Second)
+	r.Add(10000) // old burst
+	for i := 0; i < 20; i++ {
+		clk.advance(time.Second)
+		r.Add(50)
+	}
+	// The burst is >10s old: only the recent 50/s samples remain in window.
+	got := r.PerSec()
+	if got < 40 || got > 60 {
+		t.Fatalf("windowed rate = %v, want ≈50", got)
+	}
+}
+
+func TestRateIdleDecay(t *testing.T) {
+	r, clk := newTestRate(10 * time.Second)
+	clk.advance(time.Second)
+	r.Add(1000)
+	busy := r.PerSec()
+	clk.advance(8 * time.Second) // idle: same count over a longer window
+	idle := r.PerSec()
+	if idle >= busy {
+		t.Fatalf("idle rate %v should decay below busy rate %v", idle, busy)
+	}
+}
+
+func TestNewRateClampsWindow(t *testing.T) {
+	r := NewRate(0)
+	if r.window != time.Second {
+		t.Fatalf("window = %v, want clamp to 1s", r.window)
+	}
+}

@@ -1,0 +1,283 @@
+// Package serve implements a continuous-batching decode scheduler over the
+// arena-backed nn.Decoder. Requests are admitted FIFO into the lowest free
+// KV slot, every active stream advances one token per StepBatch, and
+// streams join and leave mid-step as prompts arrive and generations finish.
+//
+// Batching never changes results: the decoder's batched step is
+// bitwise-identical to single-sequence decoding and each stream samples
+// from its own seeded RNG, so a stream's output equals what a solo
+// Decoder.Generate with the same prompt and config would produce, no matter
+// which other streams it happened to share batches with.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
+	"edgellm/internal/tensor"
+)
+
+// ErrCancelled is the terminal error of a stream whose Cancel was observed
+// at a step boundary before generation finished.
+var ErrCancelled = errors.New("serve: stream cancelled")
+
+// Request describes one generation job.
+type Request struct {
+	// ID tags the stream in results and telemetry.
+	ID string
+	// Prompt is the non-empty token prefix to condition on.
+	Prompt []int
+	// Cfg controls sampling; Cfg.MaxTokens continuation tokens are produced.
+	Cfg nn.SampleConfig
+}
+
+// Result is a finished stream's outcome.
+type Result struct {
+	ID string
+	// Tokens is prompt followed by the sampled continuation — the same
+	// slice Decoder.Generate would return. Nil when Err is set.
+	Tokens []int
+	Err    error
+}
+
+// Stream is a submitted request's handle. Cancel may be called from any
+// goroutine; the scheduler observes it at the next step boundary, releases
+// the KV slot, and finishes the stream with ErrCancelled.
+type Stream struct {
+	req Request
+	rng *tensor.RNG
+
+	slot    int // -1 while queued
+	fed     int // prompt tokens consumed
+	next    int // token to feed at the next step
+	sampled []int
+
+	cancelled atomic.Bool
+	done      chan struct{}
+	result    Result
+}
+
+// ID returns the request ID.
+func (s *Stream) ID() string { return s.req.ID }
+
+// Cancel asks the scheduler to abandon the stream at the next step boundary.
+func (s *Stream) Cancel() { s.cancelled.Store(true) }
+
+// Done is closed when the stream has finished (normally, by cancellation, or
+// by scheduler shutdown).
+func (s *Stream) Done() <-chan struct{} { return s.done }
+
+// Result returns the stream's outcome; valid only after Done is closed.
+func (s *Stream) Result() Result { return s.result }
+
+// Sampled returns how many continuation tokens have been produced so far.
+// It is safe to call from an OnSample hook.
+func (s *Stream) Sampled() int { return len(s.sampled) }
+
+// Scheduler drives one nn.Decoder with continuous batching. Submit and
+// Stream.Cancel are safe from any goroutine; Run must be the only goroutine
+// touching the decoder.
+type Scheduler struct {
+	dec  *nn.Decoder
+	rate *obsv.Rate
+
+	// OnSample, when set, is invoked from the Run goroutine after every
+	// sampled token, before the token is fed back. It is the seam fault
+	// injection uses to cancel streams mid-generation.
+	OnSample func(st *Stream, token int)
+
+	mu     sync.Mutex
+	queue  []*Stream
+	closed bool
+}
+
+// New returns a scheduler over dec. The decoder's slot capacity bounds
+// concurrent streams; excess submissions wait in the FIFO queue.
+func New(dec *nn.Decoder) *Scheduler {
+	return &Scheduler{dec: dec, rate: obsv.NewRate(10 * time.Second)}
+}
+
+// Submit validates and enqueues a request, returning its stream handle.
+// Validation failures are admission rejections: the request never occupies
+// a slot and never reaches the decoder.
+func (s *Scheduler) Submit(req Request) (*Stream, error) {
+	cfg := s.dec.Config()
+	if err := req.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(req.Prompt) == 0 {
+		return nil, fmt.Errorf("serve: empty prompt")
+	}
+	for i, tok := range req.Prompt {
+		if tok < 0 || tok >= cfg.Vocab {
+			return nil, fmt.Errorf("serve: prompt token %d at position %d out of range [0,%d)", tok, i, cfg.Vocab)
+		}
+	}
+	if len(req.Prompt)+req.Cfg.MaxTokens > cfg.MaxSeq {
+		return nil, fmt.Errorf("serve: prompt %d + %d tokens exceeds MaxSeq %d",
+			len(req.Prompt), req.Cfg.MaxTokens, cfg.MaxSeq)
+	}
+	st := &Stream{
+		req:  req,
+		rng:  tensor.NewRNG(req.Cfg.Seed),
+		slot: -1,
+		next: req.Prompt[0],
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: scheduler is closed")
+	}
+	s.queue = append(s.queue, st)
+	obsv.SetGauge("decode.queue_depth", float64(len(s.queue)))
+	return st, nil
+}
+
+// Run drains every submitted request: it admits queued streams into free
+// slots, advances all active streams one token per batched step, and
+// returns once the queue and the batch are both empty. Streams submitted
+// while Run is active join the current batch at the next step boundary.
+// On context cancellation every unfinished stream ends with ctx.Err().
+func (s *Scheduler) Run(ctx context.Context) error {
+	span := obsv.StartSpan("decode.run")
+	defer span.End()
+
+	// active is indexed by slot; nil entries are free slots.
+	active := make([]*Stream, s.dec.Slots())
+	nActive := 0
+	tokens := make([]int, 0, s.dec.Slots())
+	slots := make([]int, 0, s.dec.Slots())
+	streams := make([]*Stream, 0, s.dec.Slots())
+
+	finish := func(st *Stream, res Result) {
+		if st.slot >= 0 {
+			s.dec.Release(st.slot)
+			active[st.slot] = nil
+			st.slot = -1
+			nActive--
+		}
+		st.result = res
+		close(st.done)
+		obsv.Add("decode.streams_finished", 1)
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			s.mu.Lock()
+			queued := s.queue
+			s.queue = nil
+			s.mu.Unlock()
+			for _, st := range queued {
+				finish(st, Result{ID: st.req.ID, Err: err})
+			}
+			for _, st := range active {
+				if st != nil {
+					finish(st, Result{ID: st.req.ID, Err: err})
+				}
+			}
+			return err
+		}
+
+		// Admit FIFO into the lowest free slots; drop cancelled entries.
+		s.mu.Lock()
+		for len(s.queue) > 0 && nActive < len(active) {
+			st := s.queue[0]
+			s.queue = s.queue[1:]
+			if st.cancelled.Load() {
+				finish(st, Result{ID: st.req.ID, Err: ErrCancelled})
+				continue
+			}
+			slot, err := s.dec.Acquire()
+			if err != nil {
+				finish(st, Result{ID: st.req.ID, Err: err})
+				continue
+			}
+			st.slot = slot
+			active[slot] = st
+			nActive++
+			obsv.Add("decode.streams_admitted", 1)
+		}
+		queueDepth := len(s.queue)
+		s.mu.Unlock()
+		obsv.SetGauge("decode.queue_depth", float64(queueDepth))
+		obsv.SetGauge("decode.active_slots", float64(nActive))
+		obsv.SetGauge("decode.arena_active_bytes", float64(s.dec.ArenaActiveBytes()))
+
+		if nActive == 0 {
+			return nil
+		}
+
+		// Gather this step's batch in slot order (deterministic composition)
+		// and retire cancellations at the boundary.
+		tokens, slots, streams = tokens[:0], slots[:0], streams[:0]
+		for slot, st := range active {
+			if st == nil {
+				continue
+			}
+			if st.cancelled.Load() {
+				finish(st, Result{ID: st.req.ID, Err: ErrCancelled})
+				continue
+			}
+			tokens = append(tokens, st.next)
+			slots = append(slots, slot)
+			streams = append(streams, st)
+		}
+		if len(tokens) == 0 {
+			continue
+		}
+
+		stepStart := time.Now()
+		rows, err := s.dec.StepBatch(tokens, slots)
+		if err != nil {
+			// Submit validates everything StepBatch checks, so this is a
+			// programming error; fail the whole batch rather than guess.
+			for _, st := range streams {
+				finish(st, Result{ID: st.req.ID, Err: err})
+			}
+			return err
+		}
+		obsv.Observe("decode.step_ms", float64(time.Since(stepStart))/float64(time.Millisecond))
+		obsv.Add("decode.tokens", int64(len(tokens)))
+		s.rate.Add(int64(len(tokens)))
+		obsv.SetGauge("decode.tokens_per_sec", s.rate.PerSec())
+
+		// Advance each stream exactly as Decoder.Generate would: prompt
+		// tokens are fed without sampling, the continuation samples from
+		// each step's logits, and the final sampled token is not fed back.
+		for i, st := range streams {
+			st.fed++
+			if st.fed < len(st.req.Prompt) {
+				st.next = st.req.Prompt[st.fed]
+				continue
+			}
+			tok := nn.SampleLogits(rows[i], st.req.Cfg, st.rng)
+			st.sampled = append(st.sampled, tok)
+			if s.OnSample != nil {
+				s.OnSample(st, tok)
+			}
+			if len(st.sampled) == st.req.Cfg.MaxTokens {
+				out := make([]int, 0, len(st.req.Prompt)+len(st.sampled))
+				out = append(out, st.req.Prompt...)
+				out = append(out, st.sampled...)
+				finish(st, Result{ID: st.req.ID, Tokens: out})
+				continue
+			}
+			st.next = tok
+		}
+	}
+}
+
+// Close marks the scheduler closed: subsequent Submit calls fail. It does
+// not interrupt a running Run; cancel its context for that.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -21,13 +21,7 @@ const parallelThreshold = 1 << 20
 // byte-identical at any GOMAXPROCS — the determinism guarantee all three
 // matmul kernels share.
 func bandRows(m, macs int, fn func(lo, hi int)) {
-	workers := 1
-	if macs >= parallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > m {
-			workers = m
-		}
-	}
+	workers := bandWorkers(m, macs)
 	if workers <= 1 {
 		fn(0, m)
 		return
@@ -43,6 +37,21 @@ func bandRows(m, macs int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// bandWorkers returns the band count bandRows would fan out to: 1 below the
+// parallel threshold, else GOMAXPROCS capped at the row count. Kernels call
+// it to take an allocation-free serial path without constructing the band
+// closure — the decode hot loop's zero-allocs-per-token pin relies on this.
+func bandWorkers(m, macs int) int {
+	if macs < parallelThreshold {
+		return 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	return workers
 }
 
 // MatMul returns a × b for rank-2 tensors, (m,k)×(k,n) → (m,n).
@@ -71,6 +80,10 @@ func MatMulInto(out, a, b *Tensor) {
 	}
 	for i := range out.Data {
 		out.Data[i] = 0
+	}
+	if bandWorkers(m, m*n*k) <= 1 {
+		matmulRows(out, a, b, 0, m)
+		return
 	}
 	bandRows(m, m*n*k, func(lo, hi int) { matmulRows(out, a, b, lo, hi) })
 }
@@ -118,6 +131,10 @@ func MatMulTInto(out, a, bT *Tensor) {
 	n, k2 := bT.Rows(), bT.Cols()
 	if k != k2 || out.Rows() != m || out.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMulTInto shape mismatch out %v = %v × %vᵀ", out.Shape, a.Shape, bT.Shape))
+	}
+	if bandWorkers(m, m*n*k) <= 1 {
+		matmulTRows(out, a, bT, 0, m)
+		return
 	}
 	bandRows(m, m*n*k, func(lo, hi int) { matmulTRows(out, a, bT, lo, hi) })
 }
@@ -167,6 +184,10 @@ func TMatMulInto(out, aT, b *Tensor) {
 	}
 	for i := range out.Data {
 		out.Data[i] = 0
+	}
+	if bandWorkers(m, m*n*k) <= 1 {
+		tmatmulRows(out, aT, b, 0, m)
+		return
 	}
 	bandRows(m, m*n*k, func(lo, hi int) { tmatmulRows(out, aT, b, lo, hi) })
 }

@@ -86,6 +86,25 @@ func (p *Pool) Put(t *Tensor) {
 	p.mu.Unlock()
 }
 
+// Trim discards every parked buffer and returns the number of data bytes
+// released to the garbage collector. Long-lived processes call it after a
+// burst of large-buffer work — e.g. a decode run whose KV arena blocks were
+// Put back on Close — so arena-sized buffers don't stay pinned for the life
+// of the process. Buffers currently handed out are unaffected.
+func (p *Pool) Trim() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var freed int64
+	for n, list := range p.free {
+		freed += int64(n) * 4 * int64(len(list))
+		delete(p.free, n)
+	}
+	return freed
+}
+
 // Stats returns a snapshot of the pool's hit/miss/occupancy counters.
 func (p *Pool) Stats() PoolStats {
 	if p == nil {

@@ -97,3 +97,29 @@ func TestPoolConcurrent(t *testing.T) {
 		t.Fatalf("bytes in use after balanced Get/Put %d, want 0", got)
 	}
 }
+
+// TestPoolTrim verifies Trim releases exactly the parked bytes, leaves
+// handed-out buffers alone, and is safe on a nil pool.
+func TestPoolTrim(t *testing.T) {
+	p := NewPool()
+	a := p.Get(16, 16) // 1024 bytes, stays out
+	b := p.Get(8, 8)   // 256 bytes, parked below
+	p.Put(b)
+	if freed := p.Trim(); freed != 256 {
+		t.Fatalf("Trim freed %d bytes, want 256", freed)
+	}
+	if freed := p.Trim(); freed != 0 {
+		t.Fatalf("second Trim freed %d bytes, want 0", freed)
+	}
+	// The trimmed size class must miss again.
+	misses := p.Stats().Misses
+	p.Get(8, 8)
+	if p.Stats().Misses != misses+1 {
+		t.Fatal("Get after Trim should allocate fresh")
+	}
+	p.Put(a)
+	var nilPool *Pool
+	if nilPool.Trim() != 0 {
+		t.Fatal("nil pool Trim must be a no-op")
+	}
+}
