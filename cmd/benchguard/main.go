@@ -9,10 +9,15 @@
 //     variants by the baseline's min_speedup — checked only when the
 //     benchmarks ran at ≥4 procs, since the speedup criterion is defined
 //     on ≥4 cores;
-//   - benchmarks reporting the custom tok/s metric (the decode suite) must
-//     stay above the baseline's tok_s floor minus the tolerance, and any
-//     extra speedup pairs the baseline declares (e.g. batch-8 decode vs
-//     one-at-a-time) must reach their min ratio on ≥4 procs.
+//   - benchmarks reporting the custom tok/s metric (the decode and serve
+//     suites) must stay above the baseline's tok_s floor minus the
+//     tolerance, and any extra speedup pairs the baseline declares (e.g.
+//     batch-8 decode vs one-at-a-time) must reach their min ratio on ≥4
+//     procs;
+//   - benchmarks reporting the custom p99ms metric (the serve suite's
+//     queue-wait tail) must stay below the baseline's p99_ms ceiling plus
+//     the tolerance — a generous bound that catches queueing collapse (a
+//     lost wakeup, unbounded waiting), not latency drift.
 //
 // Wall-clock ns/op is recorded in the artifact but never gated: it is not
 // comparable across machines. The decode baseline's tok/s floors are set
@@ -44,6 +49,7 @@ type benchResult struct {
 	NsOp       float64 `json:"ns_op"`
 	MBs        float64 `json:"mb_s,omitempty"`
 	TokS       float64 `json:"tok_s,omitempty"`
+	P99MS      float64 `json:"p99_ms,omitempty"`
 	BOp        int64   `json:"b_op"`
 	AllocsOp   int64   `json:"allocs_op"`
 }
@@ -63,6 +69,11 @@ type gate struct {
 	// values are set conservatively (well below a cold CI runner) because
 	// throughput, unlike allocs, is machine-dependent.
 	TokS float64 `json:"tok_s,omitempty"`
+	// P99MS, when > 0, is a latency ceiling on the benchmark's custom p99ms
+	// metric: the run must stay under P99MS·(1 + tolerance). Baselines set
+	// it far above any healthy run — it exists to catch a collapsed queue,
+	// not to measure machines.
+	P99MS float64 `json:"p99_ms,omitempty"`
 }
 
 // speedupSpec names a (parallel, serial) benchmark pair whose ns/op ratio
@@ -205,6 +216,8 @@ func parseBench(r io.Reader, out map[string]benchResult) error {
 				res.MBs = v
 			case "tok/s":
 				res.TokS = v
+			case "p99ms":
+				res.P99MS = v
 			case "B/op":
 				res.BOp = int64(v)
 			case "allocs/op":
@@ -270,6 +283,13 @@ func check(rep report, base baseline) []error {
 			if got.TokS < floor {
 				errs = append(errs, fmt.Errorf("%s: %.0f tok/s below baseline %.0f (−%.0f%% allowed)",
 					name, got.TokS, g.TokS, base.Tolerance*100))
+			}
+		}
+		if g.P99MS > 0 {
+			ceiling := g.P99MS * (1 + base.Tolerance)
+			if got.P99MS > ceiling {
+				errs = append(errs, fmt.Errorf("%s: p99 %.3fms exceeds baseline ceiling %.3fms (+%.0f%% allowed)",
+					name, got.P99MS, g.P99MS, base.Tolerance*100))
 			}
 		}
 	}

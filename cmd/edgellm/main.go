@@ -8,6 +8,8 @@
 //	train        adapt a model with the Edge-LLM pipeline, save a checkpoint
 //	generate     sample from a saved checkpoint with KV-cached decoding
 //	decode-bench continuous-batching decode throughput and verification
+//	serve        multi-tenant HTTP inference server with admission control,
+//	             deadlines, graceful drain, and a chaos fault seam
 //	telemetry    summarise or diff JSONL metric files from -metrics runs
 //
 // Run `edgellm <subcommand> -h` for flags.
@@ -56,6 +58,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "decode-bench":
 		err = cmdDecodeBench(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "telemetry":
 		err = cmdTelemetry(os.Args[2:])
 	case "-h", "--help", "help":
@@ -82,6 +86,7 @@ subcommands:
   train         adapt a model with the Edge-LLM pipeline and save a checkpoint
   generate      sample tokens from a saved checkpoint (KV-cached decoding)
   decode-bench  continuous-batching decode throughput + verification (-streams -slots -fault)
+  serve         multi-tenant HTTP inference server (admission control, deadlines, drain, -fault chaos)
   telemetry     summarise one JSONL metrics file or diff two (A-vs-B regression delta)`)
 }
 

@@ -1,0 +1,143 @@
+package adapt
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"edgellm/internal/nn"
+	"edgellm/internal/tensor"
+)
+
+func exportTestModel(seed int64) *nn.Model {
+	cfg := nn.Config{Vocab: 29, Dim: 12, Heads: 3, Layers: 2, Hidden: 20, MaxSeq: 24}
+	return nn.NewModel(cfg, tensor.NewRNG(seed))
+}
+
+// TestExportDeltaMatchesTrainingHook pins the serving-artifact semantics:
+// applying the exported adapter shifts each host weight by exactly
+// (alpha/rank)·A·B — the same term the training-time hook adds to the
+// layer output, folded into the weight.
+func TestExportDeltaMatchesTrainingHook(t *testing.T) {
+	m := exportTestModel(31)
+	g := tensor.NewRNG(7)
+	set := InstallLoRA(m, g, 2, 4)
+	// B starts zero (identity adapter); give it signal so the delta is
+	// non-trivial.
+	for _, p := range set.Params() {
+		if p.Value != nil {
+			for i := range p.Value.Data.Data {
+				if p.Value.Data.Data[i] == 0 {
+					p.Value.Data.Data[i] = 0.01 * float32(i%7)
+				}
+			}
+		}
+	}
+	a, err := set.Export("tuned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "tuned" || a.Rank() != 2 || a.Alpha() != 4 {
+		t.Fatalf("exported adapter = %s rank %d alpha %v", a.Name(), a.Rank(), a.Alpha())
+	}
+	if got, want := len(a.Targets()), 7*m.Cfg.Layers; got != want {
+		t.Fatalf("exported %d targets, want %d", got, want)
+	}
+
+	wq := m.Blocks[0].Attn.Wq
+	base := append([]float32(nil), wq.W.Data.Data...)
+	var la, lb *tensor.Tensor
+	for _, p := range set.Params() {
+		switch p.Name {
+		case "block0.wq.lora_a":
+			la = p.Value.Data
+		case "block0.wq.lora_b":
+			lb = p.Value.Data
+		}
+	}
+	if la == nil || lb == nil {
+		t.Fatal("block0.wq LoRA factors not found")
+	}
+
+	dec := nn.NewDecoder(m)
+	defer dec.Close()
+	if err := dec.SetAdapter(a); err != nil {
+		t.Fatal(err)
+	}
+	scale := float32(4) / 2
+	in, rank, out := m.Cfg.Dim, 2, m.Cfg.Dim
+	for i := 0; i < in; i++ {
+		for j := 0; j < out; j++ {
+			var d float64
+			for k := 0; k < rank; k++ {
+				d += float64(la.Data[i*rank+k]) * float64(lb.Data[k*out+j])
+			}
+			want := base[i*out+j] + scale*float32(d)
+			got := wq.W.Data.Data[i*out+j]
+			if math.Abs(float64(got-want)) > 1e-5 {
+				t.Fatalf("wq[%d,%d] = %v, want base+scale·A·B = %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestExportServesThroughRegistryFormat: Export → SaveFile → LoadAdapterFile
+// generates identically to the in-memory export.
+func TestExportServesThroughRegistryFormat(t *testing.T) {
+	m := exportTestModel(32)
+	set := InstallLoRA(m, tensor.NewRNG(8), 2, 8)
+	for _, p := range set.Params() {
+		for i := range p.Value.Data.Data {
+			if p.Value.Data.Data[i] == 0 {
+				p.Value.Data.Data[i] = 0.02 * float32((i%5)-2)
+			}
+		}
+	}
+	a, err := set.Export("served")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Remove() // serving uses the artifact, not the live hooks
+
+	path := filepath.Join(t.TempDir(), "served")
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.LoadAdapterFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prompt := []int{3, 1, 4}
+	cfg := nn.SampleConfig{MaxTokens: 6}
+	dec := nn.NewDecoder(m)
+	defer dec.Close()
+	if err := dec.SetAdapter(a); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := dec.Generate(prompt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.SetAdapter(loaded); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := dec.Generate(prompt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mem {
+		if mem[i] != disk[i] {
+			t.Fatalf("artifact roundtrip diverged at token %d: %v vs %v", i, disk, mem)
+		}
+	}
+}
+
+func TestExportAfterRemoveFails(t *testing.T) {
+	m := exportTestModel(33)
+	set := InstallLoRA(m, tensor.NewRNG(9), 2, 4)
+	set.Remove()
+	if _, err := set.Export("gone"); err == nil {
+		t.Fatal("Export after Remove must fail")
+	}
+}

@@ -129,6 +129,11 @@ const (
 	// watchdog is tested against. Without a watchdog (or other cancel),
 	// the task blocks until the whole suite is cancelled.
 	ModeStall Mode = "stall"
+	// ModeCancel marks the target for mid-flight cancellation. The serving
+	// path interprets it as "cancel this stream halfway through its
+	// generation" — the deterministic model of a client that gives up.
+	// Hook treats it as a no-op; seams that honour it use ModeFor.
+	ModeCancel Mode = "cancel"
 )
 
 // Injector maps experiment ids to injected failure modes. Its Hook method
@@ -154,10 +159,10 @@ func ParseSpec(spec string) (*Injector, error) {
 			return nil, fmt.Errorf("fault: bad injection %q (want mode=ID)", part)
 		}
 		switch Mode(mode) {
-		case ModePanic, ModeFlaky, ModeFail, ModeStall:
+		case ModePanic, ModeFlaky, ModeFail, ModeStall, ModeCancel:
 			in.modes[strings.ToUpper(strings.TrimSpace(id))] = Mode(mode)
 		default:
-			return nil, fmt.Errorf("fault: unknown injection mode %q (want panic, flaky, fail, or stall)", mode)
+			return nil, fmt.Errorf("fault: unknown injection mode %q (want panic, flaky, fail, stall, or cancel)", mode)
 		}
 	}
 	if len(in.modes) == 0 {
@@ -186,6 +191,17 @@ func (in *Injector) Describe() string {
 		fmt.Fprintf(&b, "%s=%s", in.modes[id], id)
 	}
 	return b.String()
+}
+
+// ModeFor returns the mode injected for id ("" when uninjected). Seams
+// that spread one injection across several stages — like the serving
+// path, which panics in the token hook but cancels at the halfway token —
+// dispatch on this instead of calling Hook.
+func (in *Injector) ModeFor(id string) Mode {
+	if in == nil {
+		return ""
+	}
+	return in.modes[strings.ToUpper(id)]
 }
 
 // Hook is the runner injection seam: it is called at the start of every

@@ -166,3 +166,31 @@ func TestInjectorFailMode(t *testing.T) {
 		}
 	}
 }
+
+func TestCancelModeParsesAndReports(t *testing.T) {
+	in, err := ParseSpec("cancel=r1,stall=r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.ModeFor("r1"); got != ModeCancel {
+		t.Fatalf("ModeFor(r1) = %q, want cancel", got)
+	}
+	if got := in.ModeFor("R2"); got != ModeStall {
+		t.Fatalf("ModeFor(R2) = %q, want stall", got)
+	}
+	if got := in.ModeFor("nope"); got != "" {
+		t.Fatalf("ModeFor(nope) = %q, want empty", got)
+	}
+	// The generic Hook treats cancel as a no-op: the serving front end owns
+	// the cancellation, the retry harness must not see an error.
+	if err := in.Hook(context.Background(), "r1", 0); err != nil {
+		t.Fatalf("Hook on a cancel target errored: %v", err)
+	}
+}
+
+func TestModeForNilInjector(t *testing.T) {
+	var in *Injector
+	if got := in.ModeFor("x"); got != "" {
+		t.Fatalf("nil injector ModeFor = %q, want empty", got)
+	}
+}

@@ -1,0 +1,89 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchdogConcurrentBeatStop races Beat against Stop and natural expiry
+// from many goroutines. Run with -race: the serving path beats from token
+// callbacks while request watchers call Stop, so this interleaving happens
+// constantly in production.
+func TestWatchdogConcurrentBeatStop(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		b := Budget{HeartbeatTimeout: time.Millisecond}
+		ctx, wd := b.Watch(context.Background(), "race")
+		if wd == nil {
+			t.Fatal("watchdog not armed")
+		}
+		wd.Beat() // arm the heartbeat bound
+
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					wd.Beat()
+					if g == 0 && i == 25 {
+						wd.Stop()
+					}
+					_ = wd.Err()
+				}
+			}(g)
+		}
+		wg.Wait()
+		wd.Stop() // idempotent second stop
+		// Beat after Stop must be a harmless no-op.
+		wd.Beat()
+		wd.Beat()
+
+		// After Stop the context must be released (cancelled), whether or
+		// not a stall fired first.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Second):
+			t.Fatal("context not released after Stop")
+		}
+		if err := wd.Err(); err != nil {
+			var se *StallError
+			if !errors.As(err, &se) {
+				t.Fatalf("Err() = %v, want *StallError or nil", err)
+			}
+		}
+	}
+}
+
+// TestWatchdogExpiryDuringStop lets the heartbeat bound fire while Stop is
+// racing in: exactly one terminal state, no deadlock, Err stable afterwards.
+func TestWatchdogExpiryDuringStop(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		b := Budget{HeartbeatTimeout: 100 * time.Microsecond}
+		ctx, wd := b.Watch(context.Background(), "expiry")
+		wd.Beat()
+		time.Sleep(time.Duration(round%7) * 50 * time.Microsecond)
+		done := make(chan struct{})
+		go func() { wd.Stop(); close(done) }()
+		wd.Stop()
+		<-done
+		<-ctx.Done()
+		first := wd.Err()
+		wd.Beat() // must not resurrect the watchdog
+		if got := wd.Err(); !errors.Is(got, first) && got != first {
+			t.Fatalf("Err changed after Stop: %v then %v", first, got)
+		}
+	}
+}
+
+// TestWatchdogNilSafe pins the inert nil watchdog: every method is a no-op.
+func TestWatchdogNilSafe(t *testing.T) {
+	var wd *Watchdog
+	wd.Beat()
+	wd.Stop()
+	if wd.Err() != nil {
+		t.Fatal("nil watchdog reports an error")
+	}
+}

@@ -1,0 +1,359 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"edgellm/internal/tensor"
+)
+
+// Adapter artifact container format (checkpoint-v2 style, crash-safe):
+//
+//	magic "ELLMADP1" | uint32 header length | JSON header
+//	{name, alpha, rank, targets[]} | per target: A then B tensor
+//	(tensor.WriteTo framing) | footer "ELCF" | uint32 CRC32-IEEE over
+//	every preceding byte
+//
+// The CRC footer turns any truncation or bit flip into a diagnostic load
+// error — a corrupt adapter can never be applied to a serving model, and
+// loading never panics on hostile bytes.
+var adapterMagic = [8]byte{'E', 'L', 'L', 'M', 'A', 'D', 'P', '1'}
+
+// adapterHeader is the JSON header preceding the low-rank tensor payload.
+type adapterHeader struct {
+	Name    string   `json:"name"`
+	Alpha   float32  `json:"alpha"`
+	Rank    int      `json:"rank"`
+	Targets []string `json:"targets"`
+}
+
+// AdapterPair is one low-rank factor pair targeting a named model linear.
+// Target names follow the adapt.LoRASet convention —
+// "block<N>.{wq,wk,wv,wo,gate,up,down}" — plus "lmhead" and "exit<N>" for
+// per-tenant output (exit) heads. A has shape (in, rank), B (rank, out).
+type AdapterPair struct {
+	Target string
+	A, B   *tensor.Tensor
+}
+
+// Adapter is an inference-time low-rank weight patch: a named set of dense
+// deltas scale·A·B, one per target linear, applied to model weights by
+// Decoder.SetAdapter and removed bitwise-exactly when the next adapter (or
+// nil) is set. Adapters are immutable after construction and safe to share
+// across decoders; the scheduler groups streams by adapter pointer identity.
+type Adapter struct {
+	name  string
+	alpha float32
+	rank  int
+	pairs []AdapterPair
+
+	// deltas[i] = alpha/rank · pairs[i].A · pairs[i].B, precomputed at
+	// construction so applying an adapter is a single AddInPlace per target.
+	deltas []*tensor.Tensor
+}
+
+// NewAdapter builds an adapter from low-rank pairs, precomputing the dense
+// per-target deltas. Every A must be (in, rank) and B (rank, out) with one
+// consistent rank; target names must be non-empty and unique.
+func NewAdapter(name string, alpha float32, pairs []AdapterPair) (*Adapter, error) {
+	if name == "" {
+		return nil, fmt.Errorf("nn: adapter needs a name")
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("nn: adapter %s has no target pairs", name)
+	}
+	rank := 0
+	seen := make(map[string]bool, len(pairs))
+	for _, p := range pairs {
+		if p.Target == "" {
+			return nil, fmt.Errorf("nn: adapter %s has a pair with an empty target", name)
+		}
+		if seen[p.Target] {
+			return nil, fmt.Errorf("nn: adapter %s targets %s twice", name, p.Target)
+		}
+		seen[p.Target] = true
+		if p.A == nil || p.B == nil || p.A.Rank() != 2 || p.B.Rank() != 2 {
+			return nil, fmt.Errorf("nn: adapter %s target %s: A and B must be rank-2 tensors", name, p.Target)
+		}
+		r := p.A.Cols()
+		if r < 1 || p.B.Rows() != r {
+			return nil, fmt.Errorf("nn: adapter %s target %s: A is (%d,%d) but B is (%d,%d)",
+				name, p.Target, p.A.Rows(), p.A.Cols(), p.B.Rows(), p.B.Cols())
+		}
+		if rank == 0 {
+			rank = r
+		} else if r != rank {
+			return nil, fmt.Errorf("nn: adapter %s target %s: rank %d differs from %d", name, p.Target, r, rank)
+		}
+	}
+	a := &Adapter{name: name, alpha: alpha, rank: rank, pairs: pairs}
+	scale := alpha / float32(rank)
+	for _, p := range pairs {
+		delta := tensor.New(p.A.Rows(), p.B.Cols())
+		tensor.MatMulInto(delta, p.A, p.B)
+		delta.ScaleInPlace(scale)
+		a.deltas = append(a.deltas, delta)
+	}
+	return a, nil
+}
+
+// Name returns the adapter's name.
+func (a *Adapter) Name() string { return a.name }
+
+// Rank returns the low-rank dimension.
+func (a *Adapter) Rank() int { return a.rank }
+
+// Alpha returns the LoRA scaling numerator (scale = Alpha/Rank).
+func (a *Adapter) Alpha() float32 { return a.alpha }
+
+// Targets returns the targeted linear names in application order.
+func (a *Adapter) Targets() []string {
+	out := make([]string, len(a.pairs))
+	for i, p := range a.pairs {
+		out[i] = p.Target
+	}
+	return out
+}
+
+// SizeBytes returns the resident footprint of the adapter's tensors (the
+// low-rank factors plus the precomputed dense deltas), the quantity the
+// registry's LRU bound accounts in.
+func (a *Adapter) SizeBytes() int64 {
+	var n int64
+	for i, p := range a.pairs {
+		n += int64(p.A.Len()+p.B.Len()+a.deltas[i].Len()) * 4
+	}
+	return n
+}
+
+// Save serialises the adapter (low-rank factors only — deltas are rebuilt
+// at load) ending with the CRC32 footer.
+func (a *Adapter) Save(w io.Writer) error {
+	hdr := adapterHeader{Name: a.name, Alpha: a.alpha, Rank: a.rank, Targets: a.Targets()}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("nn: marshal adapter header: %w", err)
+	}
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	if _, err := cw.Write(adapterMagic[:]); err != nil {
+		return fmt.Errorf("nn: write adapter magic: %w", err)
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(hdrBytes))); err != nil {
+		return fmt.Errorf("nn: write adapter header length: %w", err)
+	}
+	if _, err := cw.Write(hdrBytes); err != nil {
+		return fmt.Errorf("nn: write adapter header: %w", err)
+	}
+	for _, p := range a.pairs {
+		if _, err := p.A.WriteTo(cw); err != nil {
+			return fmt.Errorf("nn: write %s.lora_a: %w", p.Target, err)
+		}
+		if _, err := p.B.WriteTo(cw); err != nil {
+			return fmt.Errorf("nn: write %s.lora_b: %w", p.Target, err)
+		}
+	}
+	sum := cw.crc.Sum32()
+	if _, err := w.Write(checkpointFooter[:]); err != nil {
+		return fmt.Errorf("nn: write adapter footer: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
+		return fmt.Errorf("nn: write adapter checksum: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the adapter artifact atomically (write-temp, fsync,
+// rename) so a crashed save never leaves a torn artifact in the registry
+// directory.
+func (a *Adapter) SaveFile(path string) error {
+	return WriteFileAtomic(path, a.Save)
+}
+
+// LoadAdapter reads an adapter artifact written by Save, verifying the CRC
+// footer before returning. Truncated, bit-flipped, or malformed artifacts
+// fail with a diagnostic error — never a panic — so a serving registry can
+// map corruption to a clean client error.
+func LoadAdapter(r io.Reader) (*Adapter, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("nn: read adapter magic: %w", err)
+	}
+	if magic != adapterMagic {
+		return nil, fmt.Errorf("nn: not an edgellm adapter artifact (magic %q)", magic)
+	}
+	cr := &crcReader{r: r, crc: crc32.NewIEEE()}
+	cr.crc.Write(magic[:])
+	var hdrLen uint32
+	if err := binary.Read(cr, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, fmt.Errorf("nn: read adapter header length: %w", err)
+	}
+	if hdrLen > 1<<20 {
+		return nil, fmt.Errorf("nn: implausible adapter header length %d", hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(cr, hdrBytes); err != nil {
+		return nil, fmt.Errorf("nn: read adapter header: %w", err)
+	}
+	var hdr adapterHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("nn: parse adapter header: %w", err)
+	}
+	if len(hdr.Targets) == 0 || len(hdr.Targets) > 1<<12 {
+		return nil, fmt.Errorf("nn: adapter %q has implausible target count %d", hdr.Name, len(hdr.Targets))
+	}
+	pairs := make([]AdapterPair, 0, len(hdr.Targets))
+	for _, target := range hdr.Targets {
+		A, err := tensor.ReadFrom(cr)
+		if err != nil {
+			return nil, fmt.Errorf("nn: read %s.lora_a: %w", target, err)
+		}
+		B, err := tensor.ReadFrom(cr)
+		if err != nil {
+			return nil, fmt.Errorf("nn: read %s.lora_b: %w", target, err)
+		}
+		pairs = append(pairs, AdapterPair{Target: target, A: A, B: B})
+	}
+	want := cr.crc.Sum32()
+	var footer [4]byte
+	if _, err := io.ReadFull(r, footer[:]); err != nil {
+		return nil, fmt.Errorf("nn: adapter truncated before footer: %w", err)
+	}
+	if footer != checkpointFooter {
+		return nil, fmt.Errorf("nn: bad adapter footer %q (truncated or corrupt)", footer)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("nn: adapter truncated inside checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("nn: adapter checksum mismatch (stored %08x, computed %08x): artifact is corrupt", sum, want)
+	}
+	a, err := NewAdapter(hdr.Name, hdr.Alpha, pairs)
+	if err != nil {
+		return nil, err
+	}
+	if a.rank != hdr.Rank {
+		return nil, fmt.Errorf("nn: adapter %q header rank %d does not match tensors (rank %d)", hdr.Name, hdr.Rank, a.rank)
+	}
+	return a, nil
+}
+
+// LoadAdapterFile reads an adapter artifact from a file path.
+func LoadAdapterFile(path string) (*Adapter, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadAdapter(bufio.NewReader(f))
+}
+
+// linearByPath resolves an adapter target name to the model linear it
+// patches: "block<N>.{wq,wk,wv,wo,gate,up,down}", "lmhead", or "exit<N>"
+// (the per-layer early-exit projection; errors when untied exit heads are
+// absent).
+func (m *Model) linearByPath(target string) (*Linear, error) {
+	if target == "lmhead" {
+		return m.LMHead, nil
+	}
+	if idx, ok := strings.CutPrefix(target, "exit"); ok && !strings.Contains(idx, ".") {
+		n, err := strconv.Atoi(idx)
+		if err != nil || n < 0 || n >= len(m.Exits) {
+			return nil, fmt.Errorf("nn: adapter target %q: model has %d exit heads", target, len(m.Exits))
+		}
+		if m.Exits[n].Tied {
+			return nil, fmt.Errorf("nn: adapter target %q: exit head %d is tied to lmhead; target lmhead instead", target, n)
+		}
+		return m.Exits[n].Proj, nil
+	}
+	blockPart, linName, ok := strings.Cut(target, ".")
+	if !ok || !strings.HasPrefix(blockPart, "block") {
+		return nil, fmt.Errorf("nn: unknown adapter target %q", target)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(blockPart, "block"))
+	if err != nil || n < 0 || n >= len(m.Blocks) {
+		return nil, fmt.Errorf("nn: adapter target %q: model has %d blocks", target, len(m.Blocks))
+	}
+	blk := m.Blocks[n]
+	switch linName {
+	case "wq":
+		return blk.Attn.Wq, nil
+	case "wk":
+		return blk.Attn.Wk, nil
+	case "wv":
+		return blk.Attn.Wv, nil
+	case "wo":
+		return blk.Attn.Wo, nil
+	case "gate":
+		return blk.MLP.Gate, nil
+	case "up":
+		return blk.MLP.Up, nil
+	case "down":
+		return blk.MLP.Down, nil
+	}
+	return nil, fmt.Errorf("nn: unknown adapter target %q", target)
+}
+
+// Adapter returns the adapter currently applied to the decoder's model
+// weights (nil when decoding on the base model).
+func (d *Decoder) Adapter() *Adapter { return d.adapter }
+
+// SetAdapter swaps the low-rank patch merged into the decoder's model
+// weights: the previous adapter's targets are restored bitwise-exactly from
+// pristine copies saved at apply time, then a's dense deltas are added in
+// place. SetAdapter(nil) restores the base model. Every target is resolved
+// and shape-checked before any weight changes, so a failed call leaves the
+// model exactly as it was. Must be called from the goroutine driving the
+// decoder (the scheduler swaps only at batch boundaries).
+func (d *Decoder) SetAdapter(a *Adapter) error {
+	if a == d.adapter {
+		return nil
+	}
+	if a != nil {
+		// Resolve and validate every target before touching any weight.
+		lins := make([]*Linear, len(a.pairs))
+		for i, p := range a.pairs {
+			lin, err := d.m.linearByPath(p.Target)
+			if err != nil {
+				return fmt.Errorf("nn: adapter %s: %w", a.name, err)
+			}
+			if !a.deltas[i].SameShape(lin.W.Data) {
+				return fmt.Errorf("nn: adapter %s target %s: delta shape %v does not match weight %v",
+					a.name, p.Target, a.deltas[i].Shape, lin.W.Data.Shape)
+			}
+			lins[i] = lin
+		}
+		d.restoreBase()
+		d.savedWeights = make([]savedWeight, len(lins))
+		for i, lin := range lins {
+			d.savedWeights[i] = savedWeight{w: lin.W.Data, pristine: lin.W.Data.Clone()}
+			lin.W.Data.AddInPlace(a.deltas[i])
+		}
+		d.adapter = a
+		return nil
+	}
+	d.restoreBase()
+	return nil
+}
+
+// restoreBase undoes the current adapter by copying the saved pristine
+// weights back — bitwise-exact, unlike subtracting the delta in floats.
+func (d *Decoder) restoreBase() {
+	for _, sw := range d.savedWeights {
+		sw.w.CopyFrom(sw.pristine)
+	}
+	d.savedWeights = nil
+	d.adapter = nil
+}
+
+// savedWeight pairs a live weight tensor with its pre-adapter contents.
+type savedWeight struct {
+	w, pristine *tensor.Tensor
+}

@@ -49,6 +49,11 @@ type Decoder struct {
 	seen  []bool      // duplicate-slot validation scratch
 	tok1  [1]int      // Step's batch-of-1 arguments
 	slot1 [1]int
+
+	// Adapter state: the low-rank patch currently merged into the model
+	// weights plus pristine copies for bitwise-exact restore (adapter.go).
+	adapter      *Adapter
+	savedWeights []savedWeight
 }
 
 // batchBuf pairs a pooled full-capacity backing tensor with a view header
@@ -150,6 +155,7 @@ func (d *Decoder) PosAt(slot int) int { return d.arena.Len(slot) }
 // Close returns the arena and all scratch to the pool. The decoder must not
 // be used afterwards.
 func (d *Decoder) Close() {
+	d.restoreBase() // leave the (possibly shared) model weights pristine
 	d.arena.Close()
 	for _, bb := range []*batchBuf{&d.h, &d.q, &d.k, &d.v, &d.ctx, &d.att, &d.gate, &d.up, &d.mlp, &d.logits} {
 		bb.release(d.pool)

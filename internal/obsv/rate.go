@@ -34,12 +34,27 @@ func NewRate(window time.Duration) *Rate {
 	return r
 }
 
+// rateGranularity bounds the retained samples per window: adds that land
+// within window/rateGranularity of the newest sample coalesce into it
+// instead of appending. This caps the sample slice (and therefore Add's
+// steady-state allocation) regardless of call rate — a decode loop calling
+// Add per step stays allocation-free — while changing PerSec by at most
+// one granule of timing resolution.
+const rateGranularity = 64
+
 // Add records n events at the current time.
 func (r *Rate) Add(n int64) {
 	r.mu.Lock()
 	r.total += n
 	now := r.now()
-	r.samples = append(r.samples, rateSample{t: now, n: r.total})
+	if last := len(r.samples) - 1; last >= 1 && now.Sub(r.samples[last].t) < r.window/rateGranularity {
+		// Coalesce into the newest bucket, keeping its start time so the
+		// window keeps sliding past it; never coalesce into samples[0],
+		// the rate origin PerSec divides against.
+		r.samples[last].n = r.total
+	} else {
+		r.samples = append(r.samples, rateSample{t: now, n: r.total})
+	}
 	r.prune(now)
 	r.mu.Unlock()
 }

@@ -62,6 +62,27 @@ func TestRateIdleDecay(t *testing.T) {
 	}
 }
 
+func TestRateSamplesBounded(t *testing.T) {
+	r, clk := newTestRate(10 * time.Second)
+	// A hot loop adding far faster than the coalescing granularity must not
+	// grow the sample slice without bound (this is what keeps the decode
+	// scheduler's per-step Add allocation-free).
+	for i := 0; i < 100_000; i++ {
+		clk.advance(10 * time.Microsecond)
+		r.Add(1)
+	}
+	if n := len(r.samples); n > rateGranularity+2 {
+		t.Fatalf("retained %d samples for a sub-granularity hot loop, want ≤ %d", n, rateGranularity+2)
+	}
+	if r.Total() != 100_000 {
+		t.Fatalf("total = %d, want 100000", r.Total())
+	}
+	// The rate must still be correct: 1 event per 10µs = 100k/s.
+	if got := r.PerSec(); got < 90_000 || got > 110_000 {
+		t.Fatalf("coalesced rate = %v, want ≈100000", got)
+	}
+}
+
 func TestNewRateClampsWindow(t *testing.T) {
 	r := NewRate(0)
 	if r.window != time.Second {

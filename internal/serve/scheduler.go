@@ -1,13 +1,19 @@
 // Package serve implements a continuous-batching decode scheduler over the
-// arena-backed nn.Decoder. Requests are admitted FIFO into the lowest free
-// KV slot, every active stream advances one token per StepBatch, and
-// streams join and leave mid-step as prompts arrive and generations finish.
+// arena-backed nn.Decoder, plus the hardened multi-tenant HTTP serving
+// front end built on top of it (see server.go).
+//
+// Requests are admitted FIFO into the lowest free KV slot, every active
+// stream advances one token per StepBatch, and streams join and leave
+// mid-step as prompts arrive and generations finish.
 //
 // Batching never changes results: the decoder's batched step is
 // bitwise-identical to single-sequence decoding and each stream samples
 // from its own seeded RNG, so a stream's output equals what a solo
 // Decoder.Generate with the same prompt and config would produce, no matter
-// which other streams it happened to share batches with.
+// which other streams it happened to share batches with. Streams carrying
+// different adapters never co-batch: the scheduler only admits streams whose
+// adapter matches the one currently applied to the decoder and swaps
+// adapters at batch boundaries, when no stream is active.
 package serve
 
 import (
@@ -27,14 +33,50 @@ import (
 // at a step boundary before generation finished.
 var ErrCancelled = errors.New("serve: stream cancelled")
 
+// ErrClosed is returned by Submit once the scheduler has been closed. It is
+// a typed admission rejection, never a panic: submissions racing Close either
+// enqueue normally or fail with this error.
+var ErrClosed = errors.New("serve: scheduler closed")
+
+// ErrDraining is the cancellation cause of streams force-cancelled because
+// the server's drain deadline expired before they finished.
+var ErrDraining = errors.New("serve: cancelled by drain deadline")
+
+// StreamPanicError is the terminal error of a stream whose per-token
+// processing (sampling or a token hook) panicked. The panic is contained to
+// the poisoned stream: its slot is released and every co-batched stream
+// continues untouched.
+type StreamPanicError struct {
+	// ID is the poisoned stream's request ID.
+	ID string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *StreamPanicError) Error() string {
+	return fmt.Sprintf("serve: stream %s panicked: %v", e.ID, e.Value)
+}
+
 // Request describes one generation job.
 type Request struct {
 	// ID tags the stream in results and telemetry.
 	ID string
+	// Tenant labels the stream's owner in per-tenant telemetry. Optional.
+	Tenant string
 	// Prompt is the non-empty token prefix to condition on.
 	Prompt []int
 	// Cfg controls sampling; Cfg.MaxTokens continuation tokens are produced.
 	Cfg nn.SampleConfig
+	// Adapter, when non-nil, is the LoRA artifact this stream must decode
+	// under. Streams only co-batch with streams carrying the same adapter
+	// (pointer identity); the scheduler swaps adapters on the decoder at
+	// batch boundaries. Nil decodes on the base model.
+	Adapter *nn.Adapter
+	// OnToken, when set, is invoked from the scheduler goroutine after each
+	// sampled continuation token of this stream (before it is fed back).
+	// A panic inside the hook poisons only this stream (StreamPanicError).
+	OnToken func(st *Stream, token int)
 }
 
 // Result is a finished stream's outcome.
@@ -48,17 +90,20 @@ type Result struct {
 
 // Stream is a submitted request's handle. Cancel may be called from any
 // goroutine; the scheduler observes it at the next step boundary, releases
-// the KV slot, and finishes the stream with ErrCancelled.
+// the KV slot, and finishes the stream with the cancellation cause.
 type Stream struct {
-	req Request
-	rng *tensor.RNG
+	req   Request
+	rng   *tensor.RNG
+	sched *Scheduler
 
-	slot    int // -1 while queued
-	fed     int // prompt tokens consumed
-	next    int // token to feed at the next step
-	sampled []int
+	slot      int // -1 while queued
+	fed       int // prompt tokens consumed
+	next      int // token to feed at the next step
+	sampled   []int
+	submitted time.Time
 
 	cancelled atomic.Bool
+	cause     atomic.Pointer[error] // first CancelCause wins
 	done      chan struct{}
 	result    Result
 }
@@ -66,8 +111,33 @@ type Stream struct {
 // ID returns the request ID.
 func (s *Stream) ID() string { return s.req.ID }
 
-// Cancel asks the scheduler to abandon the stream at the next step boundary.
-func (s *Stream) Cancel() { s.cancelled.Store(true) }
+// Cancel asks the scheduler to abandon the stream at the next step boundary
+// with ErrCancelled. It is idempotent, safe from any goroutine, and a
+// harmless no-op on a stream that already finished.
+func (s *Stream) Cancel() { s.CancelCause(ErrCancelled) }
+
+// CancelCause is Cancel with an explicit cause (deadline, stall, drain, ...)
+// that becomes the stream's terminal error. The first cause wins; repeated
+// calls and calls after completion are no-ops.
+func (s *Stream) CancelCause(err error) {
+	if err == nil {
+		err = ErrCancelled
+	}
+	s.cause.CompareAndSwap(nil, &err)
+	s.cancelled.Store(true)
+	if s.sched != nil {
+		s.sched.wakeUp()
+	}
+}
+
+// cancelCause returns the recorded cancellation cause (ErrCancelled when
+// Cancel never supplied one).
+func (s *Stream) cancelCause() error {
+	if p := s.cause.Load(); p != nil {
+		return *p
+	}
+	return ErrCancelled
+}
 
 // Done is closed when the stream has finished (normally, by cancellation, or
 // by scheduler shutdown).
@@ -77,35 +147,51 @@ func (s *Stream) Done() <-chan struct{} { return s.done }
 func (s *Stream) Result() Result { return s.result }
 
 // Sampled returns how many continuation tokens have been produced so far.
-// It is safe to call from an OnSample hook.
+// It is safe to call from an OnSample/OnToken hook.
 func (s *Stream) Sampled() int { return len(s.sampled) }
 
 // Scheduler drives one nn.Decoder with continuous batching. Submit and
-// Stream.Cancel are safe from any goroutine; Run must be the only goroutine
-// touching the decoder.
+// Stream.Cancel are safe from any goroutine; Run/Serve must be the only
+// goroutine touching the decoder.
 type Scheduler struct {
 	dec  *nn.Decoder
 	rate *obsv.Rate
 
 	// OnSample, when set, is invoked from the Run goroutine after every
 	// sampled token, before the token is fed back. It is the seam fault
-	// injection uses to cancel streams mid-generation.
+	// injection uses to cancel streams mid-generation. A panic inside the
+	// hook poisons only the stream it fired for.
 	OnSample func(st *Stream, token int)
 
 	mu     sync.Mutex
 	queue  []*Stream
 	closed bool
+	wake   chan struct{} // buffered(1): Submit/Cancel nudge a blocked Serve
 }
 
 // New returns a scheduler over dec. The decoder's slot capacity bounds
 // concurrent streams; excess submissions wait in the FIFO queue.
 func New(dec *nn.Decoder) *Scheduler {
-	return &Scheduler{dec: dec, rate: obsv.NewRate(10 * time.Second)}
+	return &Scheduler{
+		dec:  dec,
+		rate: obsv.NewRate(10 * time.Second),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// wakeUp nudges a Serve goroutine blocked waiting for work.
+func (s *Scheduler) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Submit validates and enqueues a request, returning its stream handle.
 // Validation failures are admission rejections: the request never occupies
-// a slot and never reaches the decoder.
+// a slot and never reaches the decoder. After Close, Submit fails with
+// ErrClosed — submissions racing Close either enqueue or get ErrClosed,
+// never a panic and never a leaked slot.
 func (s *Scheduler) Submit(req Request) (*Stream, error) {
 	cfg := s.dec.Config()
 	if err := req.Cfg.Validate(); err != nil {
@@ -124,20 +210,33 @@ func (s *Scheduler) Submit(req Request) (*Stream, error) {
 			len(req.Prompt), req.Cfg.MaxTokens, cfg.MaxSeq)
 	}
 	st := &Stream{
-		req:  req,
-		rng:  tensor.NewRNG(req.Cfg.Seed),
-		slot: -1,
-		next: req.Prompt[0],
-		done: make(chan struct{}),
+		req:       req,
+		rng:       tensor.NewRNG(req.Cfg.Seed),
+		sched:     s,
+		slot:      -1,
+		next:      req.Prompt[0],
+		sampled:   make([]int, 0, req.Cfg.MaxTokens),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("serve: scheduler is closed")
+		s.mu.Unlock()
+		return nil, ErrClosed
 	}
 	s.queue = append(s.queue, st)
-	obsv.SetGauge("decode.queue_depth", float64(len(s.queue)))
+	depth := len(s.queue)
+	s.mu.Unlock()
+	obsv.SetGauge("decode.queue_depth", float64(depth))
+	s.wakeUp()
 	return st, nil
+}
+
+// QueueDepth returns the number of streams waiting for a slot.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }
 
 // Run drains every submitted request: it admits queued streams into free
@@ -145,13 +244,22 @@ func (s *Scheduler) Submit(req Request) (*Stream, error) {
 // returns once the queue and the batch are both empty. Streams submitted
 // while Run is active join the current batch at the next step boundary.
 // On context cancellation every unfinished stream ends with ctx.Err().
-func (s *Scheduler) Run(ctx context.Context) error {
+func (s *Scheduler) Run(ctx context.Context) error { return s.run(ctx, false) }
+
+// Serve is Run in keep-alive mode: instead of returning when idle it blocks
+// waiting for new submissions, so a server can keep one long-lived decode
+// goroutine. It returns only when ctx is cancelled, finishing every
+// unfinished stream with ctx.Err().
+func (s *Scheduler) Serve(ctx context.Context) error { return s.run(ctx, true) }
+
+func (s *Scheduler) run(ctx context.Context, keepAlive bool) error {
 	span := obsv.StartSpan("decode.run")
 	defer span.End()
 
 	// active is indexed by slot; nil entries are free slots.
 	active := make([]*Stream, s.dec.Slots())
 	nActive := 0
+	curAdapter := s.dec.Adapter()
 	tokens := make([]int, 0, s.dec.Slots())
 	slots := make([]int, 0, s.dec.Slots())
 	streams := make([]*Stream, 0, s.dec.Slots())
@@ -166,6 +274,125 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		st.result = res
 		close(st.done)
 		obsv.Add("decode.streams_finished", 1)
+	}
+
+	// admit retires cancelled queued streams and moves queued streams whose
+	// adapter matches the decoder's into free slots, swapping adapters at
+	// batch boundaries (only when no stream is active). It returns the
+	// remaining queue depth.
+	admit := func() int {
+		for {
+			s.mu.Lock()
+			kept := s.queue[:0]
+			for _, st := range s.queue {
+				switch {
+				case st.cancelled.Load():
+					finish(st, Result{ID: st.req.ID, Err: st.cancelCause()})
+				case nActive < len(active) && st.req.Adapter == curAdapter:
+					slot, err := s.dec.Acquire()
+					if err != nil {
+						finish(st, Result{ID: st.req.ID, Err: err})
+						continue
+					}
+					st.slot = slot
+					active[slot] = st
+					nActive++
+					obsv.Add("decode.streams_admitted", 1)
+					wait := float64(time.Since(st.submitted)) / float64(time.Millisecond)
+					if st.req.Tenant != "" {
+						obsv.Observe("serve.queue_wait_ms", wait, obsv.L("tenant", st.req.Tenant))
+					} else {
+						obsv.Observe("serve.queue_wait_ms", wait)
+					}
+				default:
+					kept = append(kept, st)
+				}
+			}
+			for i := len(kept); i < len(s.queue); i++ {
+				s.queue[i] = nil
+			}
+			s.queue = kept
+			var swapTo *Stream
+			if nActive == 0 && len(s.queue) > 0 && s.queue[0].req.Adapter != curAdapter {
+				swapTo = s.queue[0]
+			}
+			depth := len(s.queue)
+			s.mu.Unlock()
+			if swapTo == nil {
+				return depth
+			}
+			// Swap outside the lock: SetAdapter touches model weights, which
+			// only this goroutine may do, and must not block Submit.
+			want := swapTo.req.Adapter
+			if err := s.dec.SetAdapter(want); err != nil {
+				// The adapter cannot be applied: fail every queued stream
+				// that needs it (typed error, no slot held) and try again
+				// with whatever leads the queue now.
+				s.mu.Lock()
+				kept := s.queue[:0]
+				for _, st := range s.queue {
+					if st.req.Adapter == want {
+						finish(st, Result{ID: st.req.ID, Err: fmt.Errorf("serve: apply adapter: %w", err)})
+					} else {
+						kept = append(kept, st)
+					}
+				}
+				for i := len(kept); i < len(s.queue); i++ {
+					s.queue[i] = nil
+				}
+				s.queue = kept
+				s.mu.Unlock()
+				continue
+			}
+			curAdapter = want
+			obsv.Add("serve.adapter_swaps", 1)
+		}
+	}
+
+	// step runs one batched decoder step with panic containment: a panic
+	// inside StepBatch fails only this batch's streams (the arena stays
+	// consistent — slot lengths advance after the last write) and decoding
+	// continues for future submissions.
+	step := func(tokens, slots []int) (rows [][]float32, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				rows, err = nil, fmt.Errorf("serve: decoder step panicked: %v", r)
+			}
+		}()
+		return s.dec.StepBatch(tokens, slots)
+	}
+
+	// advance applies one sampled step to one stream with per-stream panic
+	// containment: a poisoned request (hook or sampler panic) finishes with
+	// StreamPanicError while co-batched streams continue untouched.
+	advance := func(i int, st *Stream, row []float32) {
+		defer func() {
+			if r := recover(); r != nil {
+				obsv.Add("serve.stream_panics", 1)
+				finish(st, Result{ID: st.req.ID, Err: &StreamPanicError{ID: st.req.ID, Value: r}})
+			}
+		}()
+		st.fed++
+		if st.fed < len(st.req.Prompt) {
+			st.next = st.req.Prompt[st.fed]
+			return
+		}
+		tok := nn.SampleLogits(row, st.req.Cfg, st.rng)
+		st.sampled = append(st.sampled, tok)
+		if s.OnSample != nil {
+			s.OnSample(st, tok)
+		}
+		if st.req.OnToken != nil {
+			st.req.OnToken(st, tok)
+		}
+		if len(st.sampled) == st.req.Cfg.MaxTokens {
+			out := make([]int, 0, len(st.req.Prompt)+len(st.sampled))
+			out = append(out, st.req.Prompt...)
+			out = append(out, st.sampled...)
+			finish(st, Result{ID: st.req.ID, Tokens: out})
+			return
+		}
+		st.next = tok
 	}
 
 	for {
@@ -185,33 +412,25 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			return err
 		}
 
-		// Admit FIFO into the lowest free slots; drop cancelled entries.
-		s.mu.Lock()
-		for len(s.queue) > 0 && nActive < len(active) {
-			st := s.queue[0]
-			s.queue = s.queue[1:]
-			if st.cancelled.Load() {
-				finish(st, Result{ID: st.req.ID, Err: ErrCancelled})
-				continue
-			}
-			slot, err := s.dec.Acquire()
-			if err != nil {
-				finish(st, Result{ID: st.req.ID, Err: err})
-				continue
-			}
-			st.slot = slot
-			active[slot] = st
-			nActive++
-			obsv.Add("decode.streams_admitted", 1)
-		}
-		queueDepth := len(s.queue)
-		s.mu.Unlock()
+		queueDepth := admit()
 		obsv.SetGauge("decode.queue_depth", float64(queueDepth))
 		obsv.SetGauge("decode.active_slots", float64(nActive))
 		obsv.SetGauge("decode.arena_active_bytes", float64(s.dec.ArenaActiveBytes()))
 
 		if nActive == 0 {
-			return nil
+			if !keepAlive {
+				return nil
+			}
+			if queueDepth > 0 {
+				// Queue non-empty but nothing admitted: every queued stream
+				// just failed an adapter swap or raced a cancel; loop again.
+				continue
+			}
+			select {
+			case <-ctx.Done():
+			case <-s.wake:
+			}
+			continue
 		}
 
 		// Gather this step's batch in slot order (deterministic composition)
@@ -222,7 +441,7 @@ func (s *Scheduler) Run(ctx context.Context) error {
 				continue
 			}
 			if st.cancelled.Load() {
-				finish(st, Result{ID: st.req.ID, Err: ErrCancelled})
+				finish(st, Result{ID: st.req.ID, Err: st.cancelCause()})
 				continue
 			}
 			tokens = append(tokens, st.next)
@@ -234,12 +453,16 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		}
 
 		stepStart := time.Now()
-		rows, err := s.dec.StepBatch(tokens, slots)
+		rows, err := step(tokens, slots)
 		if err != nil {
 			// Submit validates everything StepBatch checks, so this is a
-			// programming error; fail the whole batch rather than guess.
+			// programming error or a contained decoder panic; fail this
+			// batch's streams rather than guess, then keep serving.
 			for _, st := range streams {
 				finish(st, Result{ID: st.req.ID, Err: err})
+			}
+			if keepAlive {
+				continue
 			}
 			return err
 		}
@@ -252,32 +475,17 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		// tokens are fed without sampling, the continuation samples from
 		// each step's logits, and the final sampled token is not fed back.
 		for i, st := range streams {
-			st.fed++
-			if st.fed < len(st.req.Prompt) {
-				st.next = st.req.Prompt[st.fed]
-				continue
-			}
-			tok := nn.SampleLogits(rows[i], st.req.Cfg, st.rng)
-			st.sampled = append(st.sampled, tok)
-			if s.OnSample != nil {
-				s.OnSample(st, tok)
-			}
-			if len(st.sampled) == st.req.Cfg.MaxTokens {
-				out := make([]int, 0, len(st.req.Prompt)+len(st.sampled))
-				out = append(out, st.req.Prompt...)
-				out = append(out, st.sampled...)
-				finish(st, Result{ID: st.req.ID, Tokens: out})
-				continue
-			}
-			st.next = tok
+			advance(i, st, rows[i])
 		}
 	}
 }
 
-// Close marks the scheduler closed: subsequent Submit calls fail. It does
-// not interrupt a running Run; cancel its context for that.
+// Close marks the scheduler closed: subsequent Submit calls fail with
+// ErrClosed. It does not interrupt a running Run/Serve; cancel its context
+// for that (which also finishes any still-queued streams).
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.wakeUp()
 }

@@ -1,0 +1,679 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgellm/internal/fault"
+	"edgellm/internal/govern"
+	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
+)
+
+// ServerConfig tunes the hardened serving front end. The zero value serves
+// with no per-tenant cap, no deadlines, no stall watchdog, and no memory
+// admission — every protection is opt-in so tests can exercise them one at
+// a time.
+type ServerConfig struct {
+	// MaxQueue bounds how many admitted requests may wait for a KV slot
+	// beyond the decoder's slot capacity. Overflow is shed with 429 +
+	// Retry-After instead of queueing unboundedly.
+	MaxQueue int
+	// TenantSlots caps one tenant's in-flight requests (queued + active);
+	// 0 means no per-tenant cap.
+	TenantSlots int
+	// DefaultDeadline bounds a request's total time in the server when the
+	// client sends no X-Edgellm-Deadline-Ms header; 0 means no default.
+	DefaultDeadline time.Duration
+	// StallTimeout arms a per-stream watchdog that kills streams whose
+	// token production goes silent for this long (504); 0 disables it.
+	StallTimeout time.Duration
+	// DrainTimeout is how long Drain lets in-flight streams finish before
+	// cancelling the survivors.
+	DrainTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// Budget supplies the analytic memory envelope: each request's KV-cache
+	// need (govern.ServeKVBytes for prompt+max_tokens) is reserved at the
+	// door and a request that cannot fit is rejected instead of OOM-killing
+	// the arena mid-stream. Zero MemoryBytes disables the check.
+	Budget govern.Budget
+	// Registry resolves per-tenant adapter names; nil serves base-model only.
+	Registry *Registry
+	// Injector threads deterministic faults through the serving path, keyed
+	// by request ID: fail → admission-time rejection, panic → per-token hook
+	// panic at the halfway token (contained to the stream), cancel →
+	// mid-stream cancellation at the halfway token, stall → the decode
+	// blocks at the halfway token until the stall watchdog kills the stream.
+	Injector *fault.Injector
+}
+
+// errInjectedCancel is the terminal cause of a stream cancelled by a
+// ModeCancel fault injection.
+var errInjectedCancel = errors.New("serve: injected mid-stream cancel")
+
+// Server is the multi-tenant HTTP inference front end: admission control
+// and load shedding ahead of the scheduler, per-request deadlines and stall
+// watchdogs wired into stream cancellation, adapter resolution through the
+// registry, and graceful drain that proves the KV arena empties. Create
+// with NewServer, mount Handler on an http.Server, call Drain on shutdown.
+type Server struct {
+	cfg   ServerConfig
+	dec   *nn.Decoder
+	sched *Scheduler
+	adm   *govern.Admission
+
+	sem      chan struct{} // admission bound: decoder slots + MaxQueue
+	draining atomic.Bool
+	nextID   atomic.Int64
+
+	mu        sync.Mutex
+	tenants   map[string]int
+	streams   map[*Stream]struct{}
+	inflightN int           // handlers between beginRequest and endRequest
+	idle      chan struct{} // set by Drain, closed when inflightN hits 0
+
+	serveCancel context.CancelFunc
+	serveDone   chan error
+}
+
+// NewServer wraps dec in a serving front end and starts its decode
+// goroutine. The caller must call Drain exactly once to stop it.
+func NewServer(dec *nn.Decoder, cfg ServerConfig) *Server {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	s := &Server{
+		cfg:       cfg,
+		dec:       dec,
+		sched:     New(dec),
+		adm:       govern.NewAdmission(cfg.Budget),
+		sem:       make(chan struct{}, dec.Slots()+cfg.MaxQueue),
+		tenants:   make(map[string]int),
+		streams:   make(map[*Stream]struct{}),
+		serveDone: make(chan error, 1),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.serveCancel = cancel
+	go func() { s.serveDone <- s.sched.Serve(ctx) }()
+	return s
+}
+
+// Scheduler exposes the underlying scheduler (benchmarks and tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/generate  — submit a generation request (JSON; ?stream for NDJSON)
+//	GET  /v1/adapters  — resident and on-disk adapter names
+//	GET  /healthz      — 200 serving / 503 draining
+//	GET  /statusz      — live queue/slot/arena/tenant stats (JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/v1/adapters", s.handleAdapters)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return mux
+}
+
+// generateRequest is the POST /v1/generate body.
+type generateRequest struct {
+	ID          string  `json:"id"`
+	Tenant      string  `json:"tenant"`
+	Adapter     string  `json:"adapter"`
+	Prompt      []int   `json:"prompt"`
+	MaxTokens   int     `json:"max_tokens"`
+	Temperature float64 `json:"temperature"`
+	TopK        int     `json:"top_k"`
+	Seed        int64   `json:"seed"`
+	Stream      bool    `json:"stream"`
+}
+
+// generateResponse is the success body (and the final NDJSON line when
+// streaming).
+type generateResponse struct {
+	ID          string  `json:"id"`
+	Tenant      string  `json:"tenant"`
+	Adapter     string  `json:"adapter,omitempty"`
+	Tokens      []int   `json:"tokens"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	TotalMS     float64 `json:"total_ms"`
+	Done        bool    `json:"done"`
+}
+
+// errorResponse is every non-2xx body: one JSON object, always with error
+// and code set, so chaos tooling can assert failures are well-formed.
+type errorResponse struct {
+	ID    string `json:"id,omitempty"`
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// writeError emits the uniform JSON error shape, attaching Retry-After on
+// the shed/drain statuses where a retry can help.
+func (s *Server) writeError(w http.ResponseWriter, status int, id, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{ID: id, Error: err.Error(), Code: code})
+}
+
+// statusFor maps a stream's terminal error to an HTTP status and stable
+// error code.
+func statusFor(err error) (int, string) {
+	var stall *govern.StallError
+	var panicErr *StreamPanicError
+	switch {
+	case errors.As(err, &stall):
+		return http.StatusGatewayTimeout, "stalled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.As(err, &panicErr):
+		return http.StatusInternalServerError, "stream_panic"
+	case errors.Is(err, errInjectedCancel), errors.Is(err, ErrCancelled):
+		return http.StatusInternalServerError, "cancelled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "", "method_not_allowed",
+			fmt.Errorf("serve: %s not allowed", r.Method))
+		return
+	}
+	if !s.beginRequest() {
+		obsv.Add("serve.drained", 1)
+		s.writeError(w, http.StatusServiceUnavailable, "", "draining",
+			errors.New("serve: server is draining"))
+		return
+	}
+	defer s.endRequest()
+	var req generateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "", "bad_request",
+			fmt.Errorf("serve: parse request: %w", err))
+		return
+	}
+	if req.ID == "" {
+		req.ID = fmt.Sprintf("r%d", s.nextID.Add(1))
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+
+	// Admission-stage fault seam: deterministic injected rejections.
+	mode := fault.Mode("")
+	if s.cfg.Injector != nil {
+		mode = s.cfg.Injector.ModeFor(req.ID)
+	}
+	if mode == fault.ModeFail {
+		obsv.Add("serve.shed", 1, obsv.L("reason", "injected"))
+		s.writeError(w, http.StatusServiceUnavailable, req.ID, "injected_fault",
+			&fault.PermanentError{Msg: "injected admission failure in " + req.ID})
+		return
+	}
+
+	cfg := s.dec.Config()
+	sample := nn.SampleConfig{
+		Temperature: req.Temperature, TopK: req.TopK,
+		MaxTokens: req.MaxTokens, Seed: req.Seed,
+	}
+	if err := sample.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, req.ID, "bad_request", err)
+		return
+	}
+	if len(req.Prompt) == 0 || len(req.Prompt)+req.MaxTokens > cfg.MaxSeq {
+		s.writeError(w, http.StatusBadRequest, req.ID, "bad_request",
+			fmt.Errorf("serve: need a non-empty prompt with prompt+max_tokens ≤ %d", cfg.MaxSeq))
+		return
+	}
+
+	// Per-tenant concurrency cap.
+	if !s.tenantAcquire(req.Tenant) {
+		obsv.Add("serve.shed", 1, obsv.L("reason", "tenant"))
+		s.writeError(w, http.StatusTooManyRequests, req.ID, "tenant_limit",
+			fmt.Errorf("serve: tenant %s is at its %d-request limit", req.Tenant, s.cfg.TenantSlots))
+		return
+	}
+	defer s.tenantRelease(req.Tenant)
+
+	// Bounded wait queue: slots + MaxQueue requests in the building, the
+	// rest shed immediately.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		obsv.Add("serve.shed", 1, obsv.L("reason", "queue"))
+		s.writeError(w, http.StatusTooManyRequests, req.ID, "overloaded",
+			fmt.Errorf("serve: queue full (%d waiting + %d active)", s.cfg.MaxQueue, s.dec.Slots()))
+		return
+	}
+
+	// Analytic KV admission: reject requests that cannot fit in the memory
+	// budget before they pin anything.
+	kvNeed := govern.ServeKVBytes(cfg.Layers, cfg.Dim, len(req.Prompt)+req.MaxTokens)
+	if err := s.adm.TryReserve(kvNeed); err != nil {
+		var over *govern.OverBudgetError
+		if errors.As(err, &over) && over.Permanent {
+			obsv.Add("serve.shed", 1, obsv.L("reason", "unfittable"))
+			s.writeError(w, http.StatusRequestEntityTooLarge, req.ID, "unfittable", err)
+			return
+		}
+		obsv.Add("serve.shed", 1, obsv.L("reason", "memory"))
+		s.writeError(w, http.StatusTooManyRequests, req.ID, "memory", err)
+		return
+	}
+	defer s.adm.Release(kvNeed)
+
+	// Resolve the tenant's adapter through the registry (pinned until the
+	// stream finishes). Corruption is a clean 4xx, never a panic.
+	var adapter *nn.Adapter
+	if req.Adapter != "" {
+		if s.cfg.Registry == nil {
+			s.writeError(w, http.StatusNotFound, req.ID, "adapter_not_found",
+				fmt.Errorf("%w: no adapter registry configured", ErrAdapterNotFound))
+			return
+		}
+		a, err := s.cfg.Registry.Acquire(req.Adapter)
+		if err != nil {
+			var corrupt *CorruptAdapterError
+			switch {
+			case errors.As(err, &corrupt):
+				s.writeError(w, http.StatusUnprocessableEntity, req.ID, "adapter_corrupt", err)
+			case errors.Is(err, ErrRegistryBusy):
+				obsv.Add("serve.shed", 1, obsv.L("reason", "adapters"))
+				s.writeError(w, http.StatusTooManyRequests, req.ID, "adapters_busy", err)
+			default:
+				s.writeError(w, http.StatusNotFound, req.ID, "adapter_not_found", err)
+			}
+			return
+		}
+		adapter = a
+		defer s.cfg.Registry.Release(req.Adapter)
+	}
+
+	// Deadline: header beats server default; both flow through the request
+	// context so client disconnects and deadlines share one cancel path.
+	reqCtx := r.Context()
+	deadline := s.cfg.DefaultDeadline
+	if h := r.Header.Get("X-Edgellm-Deadline-Ms"); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			s.writeError(w, http.StatusBadRequest, req.ID, "bad_request",
+				fmt.Errorf("serve: bad X-Edgellm-Deadline-Ms %q", h))
+			return
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, deadline)
+		defer cancel()
+	}
+
+	// Per-stream stall watchdog: token production beats it; silence for
+	// StallTimeout kills the stream with a typed StallError.
+	wctx := reqCtx
+	var wd *govern.Watchdog
+	if s.cfg.StallTimeout > 0 {
+		wctx, wd = govern.Budget{HeartbeatTimeout: s.cfg.StallTimeout}.Watch(reqCtx, "serve:"+req.ID)
+		wd.Beat() // arm: queue wait counts as production time
+		defer wd.Stop()
+	}
+
+	// cancelForCtx maps the request context's demise to a typed cancellation
+	// cause (stall beats deadline beats disconnect) exactly once, shared by
+	// the watcher goroutine and the injected-stall seam so the cause is
+	// recorded before the decode loop can observe the unblocked context.
+	var cancelOnce sync.Once
+	cancelForCtx := func(st *Stream) {
+		cancelOnce.Do(func() {
+			cause := wctx.Err()
+			if wd != nil {
+				if se := wd.Err(); se != nil {
+					cause = se
+					obsv.Add("serve.stalled", 1)
+				}
+			}
+			if errors.Is(cause, context.DeadlineExceeded) {
+				obsv.Add("serve.deadline_exceeded", 1)
+			} else if errors.Is(cause, context.Canceled) {
+				cause = fmt.Errorf("serve: client disconnected: %w", ErrCancelled)
+				obsv.Add("serve.disconnects", 1)
+			}
+			st.CancelCause(cause)
+		})
+	}
+
+	half := req.MaxTokens / 2
+	var tokCh chan int
+	if req.Stream {
+		// Buffered to MaxTokens: the decode goroutine can always complete a
+		// stream without waiting on a slow client.
+		tokCh = make(chan int, req.MaxTokens)
+	}
+	onToken := func(st *Stream, tok int) {
+		switch mode {
+		case fault.ModePanic:
+			if st.Sampled() == half {
+				panic(fmt.Sprintf("fault: injected panic in %s at token %d", req.ID, half))
+			}
+		case fault.ModeCancel:
+			if st.Sampled() == half {
+				st.CancelCause(errInjectedCancel)
+			}
+		case fault.ModeStall:
+			if st.Sampled() == half {
+				// A genuinely stalled decode: block token production until
+				// the stall watchdog (or deadline) kills this stream. Cancel
+				// synchronously on unblock — the cause must be recorded
+				// before the decode loop reaches its next step boundary.
+				<-wctx.Done()
+				cancelForCtx(st)
+				return
+			}
+		}
+		if wd != nil {
+			wd.Beat()
+		}
+		if tokCh != nil {
+			select {
+			case tokCh <- tok:
+			default:
+			}
+		}
+	}
+
+	start := time.Now()
+	st, err := s.sched.Submit(Request{
+		ID: req.ID, Tenant: req.Tenant, Prompt: req.Prompt,
+		Cfg: sample, Adapter: adapter, OnToken: onToken,
+	})
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			obsv.Add("serve.drained", 1)
+			s.writeError(w, http.StatusServiceUnavailable, req.ID, "draining", err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, req.ID, "bad_request", err)
+		return
+	}
+	s.trackStream(st, true)
+	defer s.trackStream(st, false)
+
+	// Cancellation watcher: deadline, client disconnect, and watchdog all
+	// funnel into CancelCause so the KV slot is reclaimed at the next step
+	// boundary no matter how the request dies.
+	go func() {
+		select {
+		case <-st.Done():
+		case <-wctx.Done():
+			cancelForCtx(st)
+		}
+	}()
+
+	if req.Stream {
+		s.streamResponse(w, st, &req, tokCh, start)
+	} else {
+		s.unaryResponse(w, st, &req, start)
+	}
+}
+
+// finishMetrics records the per-tenant outcome telemetry for one request.
+func (s *Server) finishMetrics(req *generateRequest, res Result, start time.Time) {
+	tenant := obsv.L("tenant", req.Tenant)
+	obsv.Add("serve.requests", 1, tenant)
+	obsv.Observe("serve.request_ms", float64(time.Since(start))/float64(time.Millisecond), tenant)
+	if res.Err == nil {
+		obsv.Add("serve.tokens", int64(len(res.Tokens)-len(req.Prompt)), tenant)
+	} else {
+		obsv.Add("serve.errors", 1, tenant)
+	}
+}
+
+func (s *Server) unaryResponse(w http.ResponseWriter, st *Stream, req *generateRequest, start time.Time) {
+	<-st.Done()
+	res := st.Result()
+	s.finishMetrics(req, res, start)
+	if res.Err != nil {
+		status, code := statusFor(res.Err)
+		s.writeError(w, status, req.ID, code, res.Err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(generateResponse{
+		ID: req.ID, Tenant: req.Tenant, Adapter: req.Adapter, Tokens: res.Tokens,
+		TotalMS: float64(time.Since(start)) / float64(time.Millisecond), Done: true,
+	})
+}
+
+// streamChunk is one NDJSON line of a streaming response.
+type streamChunk struct {
+	Token int `json:"token"`
+}
+
+// streamResponse writes tokens as NDJSON lines as they are produced, ending
+// with a generateResponse (or errorResponse) line. The scheduler never
+// blocks on this path: tokens flow through a channel buffered to MaxTokens,
+// so a slow client costs only its own latency. A failed write cancels the
+// stream, reclaiming the KV slot immediately.
+func (s *Server) streamResponse(w http.ResponseWriter, st *Stream, req *generateRequest, tokCh chan int, start time.Time) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeChunk := func(tok int) bool {
+		if err := enc.Encode(streamChunk{Token: tok}); err != nil {
+			st.CancelCause(fmt.Errorf("serve: client write failed: %w", ErrCancelled))
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	alive := true
+	for alive {
+		select {
+		case tok := <-tokCh:
+			alive = writeChunk(tok)
+		case <-st.Done():
+			// Drain tokens that raced the close, then emit the terminal line.
+			for alive {
+				select {
+				case tok := <-tokCh:
+					alive = writeChunk(tok)
+				default:
+					res := st.Result()
+					s.finishMetrics(req, res, start)
+					if res.Err != nil {
+						_, code := statusFor(res.Err)
+						enc.Encode(errorResponse{ID: req.ID, Error: res.Err.Error(), Code: code})
+					} else {
+						enc.Encode(generateResponse{
+							ID: req.ID, Tenant: req.Tenant, Adapter: req.Adapter, Tokens: res.Tokens,
+							TotalMS: float64(time.Since(start)) / float64(time.Millisecond), Done: true,
+						})
+					}
+					if flusher != nil {
+						flusher.Flush()
+					}
+					return
+				}
+			}
+		}
+	}
+	// Client is gone; wait for the scheduler to retire the stream so the
+	// slot is provably reclaimed before the handler exits.
+	<-st.Done()
+	s.finishMetrics(req, st.Result(), start)
+}
+
+func (s *Server) tenantAcquire(tenant string) bool {
+	if s.cfg.TenantSlots <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tenants[tenant] >= s.cfg.TenantSlots {
+		return false
+	}
+	s.tenants[tenant]++
+	return true
+}
+
+func (s *Server) tenantRelease(tenant string) {
+	if s.cfg.TenantSlots <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.tenants[tenant] > 0 {
+		s.tenants[tenant]--
+	}
+	if s.tenants[tenant] == 0 {
+		delete(s.tenants, tenant)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) trackStream(st *Stream, add bool) {
+	s.mu.Lock()
+	if add {
+		s.streams[st] = struct{}{}
+	} else {
+		delete(s.streams, st)
+	}
+	obsv.SetGauge("serve.active", float64(len(s.streams)))
+	s.mu.Unlock()
+}
+
+// beginRequest registers an in-flight generate request, refusing once
+// draining has started. The draining check and the counter increment share
+// s.mu with Drain's inflight snapshot, so every request is either visible
+// to the drain wait or rejected with 503 — never missed in between. (A
+// WaitGroup cannot give this guarantee: Add racing Wait at counter zero is
+// the documented misuse, and the race detector flags it.)
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.inflightN--
+	if s.inflightN == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "", "draining",
+			errors.New("serve: server is draining"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"resident": []string{}, "available": []string{}}
+	if s.cfg.Registry != nil {
+		if res := s.cfg.Registry.Resident(); res != nil {
+			resp["resident"] = res
+		}
+		if avail := s.cfg.Registry.List(); avail != nil {
+			resp["available"] = avail
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	active := len(s.streams)
+	tenants := make(map[string]int, len(s.tenants))
+	for t, n := range s.tenants {
+		tenants[t] = n
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"draining":          s.draining.Load(),
+		"active_requests":   active,
+		"queue_depth":       s.sched.QueueDepth(),
+		"slots":             s.dec.Slots(),
+		"reserved_kv_bytes": s.adm.ReservedBytes(),
+		"tenants":           tenants,
+	})
+}
+
+// Drain gracefully stops the server: admission is closed immediately (new
+// requests get 503 + Retry-After), in-flight streams get up to DrainTimeout
+// to finish, survivors are then cancelled with ErrDraining, and the decode
+// goroutine is stopped. It returns an error if the KV arena does not drain
+// back to zero bytes — the invariant the chaos CI job pins. Call exactly
+// once; later calls return immediately.
+func (s *Server) Drain() error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.sched.Close() // racing Submits now get typed ErrClosed
+	done := make(chan struct{})
+	s.mu.Lock()
+	if s.inflightN == 0 {
+		close(done)
+	} else {
+		s.idle = done
+	}
+	s.mu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.mu.Lock()
+		for st := range s.streams {
+			st.CancelCause(ErrDraining)
+			obsv.Add("serve.drain_cancelled", 1)
+		}
+		s.mu.Unlock()
+		// Cancelled streams retire at the next step boundary; give their
+		// handlers one more grace period, then stop regardless — the
+		// scheduler (not the handlers) owns slot reclamation.
+		select {
+		case <-done:
+		case <-time.After(s.cfg.DrainTimeout):
+		}
+	}
+	s.serveCancel()
+	<-s.serveDone // Serve returns ctx.Err() after finishing every stream
+	if n := s.dec.ArenaActiveBytes(); n != 0 {
+		return fmt.Errorf("serve: arena did not drain: %d bytes still active", n)
+	}
+	return nil
+}
