@@ -50,6 +50,7 @@ type benchResult struct {
 	MBs        float64 `json:"mb_s,omitempty"`
 	TokS       float64 `json:"tok_s,omitempty"`
 	P99MS      float64 `json:"p99_ms,omitempty"`
+	TTFTP99MS  float64 `json:"ttft_p99_ms,omitempty"`
 	BOp        int64   `json:"b_op"`
 	AllocsOp   int64   `json:"allocs_op"`
 }
@@ -74,6 +75,11 @@ type gate struct {
 	// it far above any healthy run — it exists to catch a collapsed queue,
 	// not to measure machines.
 	P99MS float64 `json:"p99_ms,omitempty"`
+	// TTFTP99MS, when > 0, is the same kind of ceiling on the custom
+	// ttftp99ms metric (p99 time-to-first-token): it catches a regression
+	// that delays the first token — admission or prompt-step collapse —
+	// which aggregate tok/s can hide.
+	TTFTP99MS float64 `json:"ttft_p99_ms,omitempty"`
 }
 
 // speedupSpec names a (parallel, serial) benchmark pair whose ns/op ratio
@@ -218,6 +224,8 @@ func parseBench(r io.Reader, out map[string]benchResult) error {
 				res.TokS = v
 			case "p99ms":
 				res.P99MS = v
+			case "ttftp99ms":
+				res.TTFTP99MS = v
 			case "B/op":
 				res.BOp = int64(v)
 			case "allocs/op":
@@ -290,6 +298,13 @@ func check(rep report, base baseline) []error {
 			if got.P99MS > ceiling {
 				errs = append(errs, fmt.Errorf("%s: p99 %.3fms exceeds baseline ceiling %.3fms (+%.0f%% allowed)",
 					name, got.P99MS, g.P99MS, base.Tolerance*100))
+			}
+		}
+		if g.TTFTP99MS > 0 {
+			ceiling := g.TTFTP99MS * (1 + base.Tolerance)
+			if got.TTFTP99MS > ceiling {
+				errs = append(errs, fmt.Errorf("%s: ttft p99 %.3fms exceeds baseline ceiling %.3fms (+%.0f%% allowed)",
+					name, got.TTFTP99MS, g.TTFTP99MS, base.Tolerance*100))
 			}
 		}
 	}

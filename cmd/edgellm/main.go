@@ -9,8 +9,10 @@
 //	generate     sample from a saved checkpoint with KV-cached decoding
 //	decode-bench continuous-batching decode throughput and verification
 //	serve        multi-tenant HTTP inference server with admission control,
-//	             deadlines, graceful drain, and a chaos fault seam
-//	telemetry    summarise or diff JSONL metric files from -metrics runs
+//	             deadlines, graceful drain, request tracing, SLO burn-rate
+//	             tracking, a JSONL access log, and a chaos fault seam
+//	telemetry    summarise or diff JSONL metric files from -metrics runs;
+//	             serve-report analyses a serving access log
 //
 // Run `edgellm <subcommand> -h` for flags.
 package main
@@ -86,8 +88,10 @@ subcommands:
   train         adapt a model with the Edge-LLM pipeline and save a checkpoint
   generate      sample tokens from a saved checkpoint (KV-cached decoding)
   decode-bench  continuous-batching decode throughput + verification (-streams -slots -fault)
-  serve         multi-tenant HTTP inference server (admission control, deadlines, drain, -fault chaos)
-  telemetry     summarise one JSONL metrics file or diff two (A-vs-B regression delta)`)
+  serve         multi-tenant HTTP inference server (admission control, deadlines, drain,
+                -fault chaos, -trace timelines, -slo burn rates, -access-log JSONL)
+  telemetry     summarise one JSONL metrics file, diff two (A-vs-B regression delta),
+                or analyse a serving access log (serve-report [-slo] [-strict])`)
 }
 
 func cmdExperiments(args []string) (err error) {

@@ -49,6 +49,11 @@ func cmdServe(args []string) error {
 	maxAdapters := fs.Int("max-adapters", 8, "LRU bound on resident adapters")
 	faultSpec := fs.String("fault", "", `chaos seam: comma-separated mode=ID pairs over request ids, modes fail|panic|cancel|stall (e.g. "panic=R3,cancel=R7")`)
 	telemetryAddr := fs.String("telemetry-addr", "", "serve live telemetry on this host:port (/metrics, /debug/vars, /debug/pprof)")
+	accessLogPath := fs.String("access-log", "", "append one JSONL record per request to this file (analysable offline with `edgellm telemetry serve-report`)")
+	sloSpec := fs.String("slo", "", `SLO objectives, comma-separated (e.g. "p99_ttft_ms=500,availability=0.999"); burn rates surface on /statusz, /metrics, and serve.slo_* — reported, never enforced`)
+	sloInterval := fs.Duration("slo-interval", 5*time.Second, "SLO burn-rate sampling interval")
+	tracePath := fs.String("trace", "", "write request span timelines as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+	metricsPath := fs.String("metrics", "", "stream telemetry events as JSONL to this file")
 	fs.Parse(args)
 
 	var m *nn.Model
@@ -74,6 +79,26 @@ func cmdServe(args []string) error {
 	rec := obsv.New()
 	obsv.SetGlobal(rec)
 	defer obsv.SetGlobal(nil)
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return fmt.Errorf("serve: create metrics file: %w", err)
+		}
+		defer f.Close()
+		rec.SetEmitter(obsv.NewEmitter(f))
+		fmt.Fprintf(os.Stderr, "serve: streaming telemetry events to %s\n", *metricsPath)
+	}
+	var traceW *obsv.TraceWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("serve: create trace file: %w", err)
+		}
+		defer f.Close()
+		traceW = obsv.NewTraceWriter(f)
+		rec.SetTraceWriter(traceW)
+		fmt.Fprintf(os.Stderr, "serve: writing request timelines to %s (Chrome trace format)\n", *tracePath)
+	}
 	if *telemetryAddr != "" {
 		srv, err := obsv.StartServer(*telemetryAddr, rec)
 		if err != nil {
@@ -111,6 +136,29 @@ func cmdServe(args []string) error {
 		cfg.Injector = inj
 		fmt.Fprintf(os.Stderr, "serve: injecting faults: %s\n", inj.Describe())
 	}
+	var accessLog *serve.AccessLog
+	if *accessLogPath != "" {
+		f, err := os.OpenFile(*accessLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: open access log: %w", err)
+		}
+		accessLog = serve.NewAccessLog(f)
+		cfg.AccessLog = accessLog
+		fmt.Fprintf(os.Stderr, "serve: access log %s\n", *accessLogPath)
+	}
+	var slo *obsv.SLOTracker
+	if *sloSpec != "" {
+		objs, err := obsv.ParseSLOSpec(*sloSpec)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		slo = obsv.NewSLOTracker(rec, objs, obsv.DefaultSLOWindows)
+		cfg.SLO = slo
+		slo.Start(*sloInterval)
+		for _, o := range objs {
+			fmt.Fprintf(os.Stderr, "serve: tracking SLO %s\n", o.Name)
+		}
+	}
 
 	pool := tensor.NewPool()
 	dec := nn.NewBatchDecoder(m, *slots, pool)
@@ -146,24 +194,22 @@ func cmdServe(args []string) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(shutCtx)
+	slo.Stop() // final burn-rate sample; nil-safe
+	if accessLog != nil {
+		if err := accessLog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: access log error: %v\n", err)
+		}
+	}
+	if traceW != nil {
+		if err := traceW.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: trace writer error: %v\n", err)
+		}
+	}
 	if drainErr != nil {
 		return fmt.Errorf("serve: drain: %w", drainErr)
 	}
-	snap := rec.Snapshot()
 	fmt.Fprintf(os.Stderr, "serve: drained cleanly: arena active bytes 0, %d requests served, %d shed, %d stalled\n",
-		totalCounter(snap.Counters, "serve.requests"), totalCounter(snap.Counters, "serve.shed"),
-		totalCounter(snap.Counters, "serve.stalled"))
+		rec.CounterTotal("serve.requests"), rec.CounterTotal("serve.shed"),
+		rec.CounterTotal("serve.stalled"))
 	return nil
-}
-
-// totalCounter sums a counter across its label variants: obsv snapshots key
-// labelled counters as `name{k=v}`.
-func totalCounter(counters map[string]int64, name string) int64 {
-	var total int64
-	for k, v := range counters {
-		if k == name || (len(k) > len(name) && k[:len(name)] == name && k[len(name)] == '{') {
-			total += v
-		}
-	}
-	return total
 }

@@ -16,20 +16,27 @@ import (
 
 // cmdTelemetry is the offline half of the telemetry subsystem: it reads
 // JSONL metric files produced by `experiments -metrics` and prints either
-// a run summary or an A-vs-B regression delta.
+// a run summary or an A-vs-B regression delta, and it analyses serving
+// access logs produced by `serve -access-log`.
 //
-//	edgellm telemetry run.jsonl            summary of one run
-//	edgellm telemetry a.jsonl b.jsonl      delta table (B relative to A)
+//	edgellm telemetry run.jsonl                    summary of one run
+//	edgellm telemetry a.jsonl b.jsonl              delta table (B relative to A)
+//	edgellm telemetry serve-report access.jsonl    serving latency/SLO report
 //
 // An explicit leading "summary" or "diff" verb is also accepted.
 func cmdTelemetry(args []string) error {
+	if len(args) > 0 && args[0] == "serve-report" {
+		return cmdServeReport(args[1:])
+	}
 	fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
 	markdown := fs.Bool("markdown", false, "emit markdown tables")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: edgellm telemetry [summary|diff] <run.jsonl> [other.jsonl]
+       edgellm telemetry serve-report [-slo spec] [-strict] <access.jsonl>
 
 With one file: print the run's manifest and aggregated metrics.
-With two: print a regression delta of the second run against the first.`)
+With two: print a regression delta of the second run against the first.
+serve-report: per-tenant latency and SLO attainment from a serving access log.`)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)

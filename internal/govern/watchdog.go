@@ -43,6 +43,7 @@ type Watchdog struct {
 	cancel   context.CancelFunc
 	lastBeat atomic.Int64 // UnixNano of the latest Beat; 0 = none yet
 	fired    atomic.Pointer[StallError]
+	firedAt  atomic.Int64 // UnixNano of the moment the stall fired; 0 = none
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -98,6 +99,20 @@ func (w *Watchdog) Err() error {
 	return nil
 }
 
+// FiredAt returns when the stall fired, or the zero time if it never did
+// (nil-safe). Serving code uses it to annotate a killed request's span and
+// access-log record with the kill moment rather than the observation moment.
+func (w *Watchdog) FiredAt() time.Time {
+	if w == nil {
+		return time.Time{}
+	}
+	ns := w.firedAt.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // Stop shuts the watchdog down (nil-safe, idempotent) and releases its
 // context resources. A stall that already fired stays reported by Err.
 func (w *Watchdog) Stop() {
@@ -120,7 +135,9 @@ func (w *Watchdog) loop() {
 		case <-w.stop:
 			return
 		case <-timer.C:
-			if e := w.expired(time.Now()); e != nil {
+			now := time.Now()
+			if e := w.expired(now); e != nil {
+				w.firedAt.Store(now.UnixNano())
 				w.fired.Store(e)
 				w.cancel()
 				return

@@ -34,6 +34,25 @@ func TestWatchdogStageDeadline(t *testing.T) {
 	if se.Retryable() {
 		t.Fatal("stalls must not be retryable")
 	}
+	if wd.FiredAt().IsZero() {
+		t.Fatal("FiredAt should be set once the stall fired")
+	}
+}
+
+func TestWatchdogFiredAtZeroWhenHealthy(t *testing.T) {
+	ctx, wd := Budget{StageTimeout: time.Hour}.Watch(context.Background(), "E1")
+	_ = ctx
+	if !wd.FiredAt().IsZero() {
+		t.Fatal("FiredAt should be zero before any stall")
+	}
+	wd.Stop()
+	if !wd.FiredAt().IsZero() {
+		t.Fatal("FiredAt should stay zero after a clean Stop")
+	}
+	var nilWD *Watchdog
+	if !nilWD.FiredAt().IsZero() {
+		t.Fatal("nil watchdog FiredAt should be zero")
+	}
 }
 
 // TestWatchdogHeartbeatFires: once beats start and then stop, the heartbeat

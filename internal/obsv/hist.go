@@ -51,6 +51,18 @@ func (h *histogram) observe(v float64) {
 	h.counts[bucketOf(v)]++
 }
 
+// countAbove returns the number of observations that landed in buckets
+// strictly above the bucket containing threshold. Samples that share the
+// threshold's bucket are treated as within-threshold, so the count errs on
+// the side of under-reporting violations by at most one bucket width.
+func (h *histogram) countAbove(threshold float64) int64 {
+	var n int64
+	for i := bucketOf(threshold) + 1; i < histBuckets; i++ {
+		n += h.counts[i]
+	}
+	return n
+}
+
 // bucketLower returns the lower bound of bucket idx (idx >= 1).
 func bucketLower(idx int) float64 {
 	return math.Pow(10, histMinExp+float64(idx-1)*histLogGrowth)

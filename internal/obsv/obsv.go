@@ -100,6 +100,12 @@ func (d *dist) observe(v float64) {
 	d.mu.Unlock()
 }
 
+func (d *dist) countsAbove(threshold float64) (above, total int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hist.countAbove(threshold), d.s.Count
+}
+
 func (d *dist) stat() DistStat {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -353,6 +359,7 @@ type Span struct {
 	name   string
 	start  time.Time
 	labels []Label
+	tags   []Label
 	id     uint64
 	parent uint64
 	tid    uint64
@@ -370,6 +377,22 @@ func (r *Recorder) StartSpan(name string, labels ...Label) Span {
 	}
 }
 
+// Tag attaches an emitted-only annotation to the span and returns the
+// tagged copy. Tags appear in the JSONL event and Chrome trace args of the
+// span (and of children, which inherit them) but are NOT part of the
+// registry series key, so high-cardinality values such as request IDs can
+// be attached to traces without creating one metric series per request.
+func (s Span) Tag(key, value string) Span {
+	if s.r == nil {
+		return s
+	}
+	tags := make([]Label, len(s.tags)+1)
+	copy(tags, s.tags)
+	tags[len(s.tags)] = Label{Key: key, Value: value}
+	s.tags = tags
+	return s
+}
+
 // Child begins a sub-span on the same trace track, so it nests under s in
 // chrome://tracing / Perfetto. On a span without a recorder (zero Span) it
 // falls back to a root span on the global recorder — inert when disabled —
@@ -379,7 +402,7 @@ func (s Span) Child(name string, labels ...Label) Span {
 		return Global().StartSpan(name, labels...)
 	}
 	return Span{
-		r: s.r, name: name, start: time.Now(), labels: labels,
+		r: s.r, name: name, start: time.Now(), labels: labels, tags: s.tags,
 		id: spanIDs.Add(1), parent: s.id, tid: s.tid,
 	}
 }
@@ -394,9 +417,40 @@ func (s Span) ChildTrack(name string, labels ...Label) Span {
 		return Global().StartSpan(name, labels...)
 	}
 	return Span{
-		r: s.r, name: name, start: time.Now(), labels: labels,
+		r: s.r, name: name, start: time.Now(), labels: labels, tags: s.tags,
 		id: spanIDs.Add(1), parent: s.id, tid: trackIDs.Add(1),
 	}
+}
+
+// ObserveChild records an already-measured child interval of s: a span that
+// ran from start for dur, on s's track, with s's tags inherited. Use it to
+// reconstruct phases that were timed elsewhere (e.g. queue wait and decode
+// time measured inside the scheduler step loop) without holding a live Span
+// across goroutines.
+func (s Span) ObserveChild(name string, start time.Time, dur time.Duration, fields map[string]float64, labels ...Label) {
+	if s.r == nil {
+		return
+	}
+	child := Span{
+		r: s.r, name: name, start: start, labels: labels, tags: s.tags,
+		id: spanIDs.Add(1), parent: s.id, tid: s.tid,
+	}
+	child.endAt(dur, fields)
+}
+
+// RecordSpan records a completed root span that ran from start for dur.
+// Instrumented loops that cannot afford a live Span per iteration (the
+// scheduler's 0 allocs/token step loop samples every Nth step) use it to
+// file timing after the fact.
+func (r *Recorder) RecordSpan(name string, start time.Time, dur time.Duration, labels ...Label) {
+	if r == nil {
+		return
+	}
+	sp := Span{
+		r: r, name: name, start: start, labels: labels,
+		id: spanIDs.Add(1), tid: trackIDs.Add(1),
+	}
+	sp.endAt(dur, nil)
 }
 
 // ID returns the span's process-unique id (0 for an inert span).
@@ -411,29 +465,82 @@ func (s Span) EndWith(fields map[string]float64) {
 	if s.r == nil {
 		return
 	}
-	dur := time.Since(s.start)
+	s.endAt(time.Since(s.start), fields)
+}
+
+// endAt completes the span with an externally supplied duration. Registry
+// aggregation keys on labels only; tags join labels in the emitted event,
+// the Chrome trace args, and the span log line.
+func (s Span) endAt(dur time.Duration, fields map[string]float64) {
 	ms := float64(dur) / float64(time.Millisecond)
 	s.r.dist(s.r.spans, s.name, s.labels).observe(ms)
+	annotated := s.labels
+	if len(s.tags) > 0 {
+		annotated = make([]Label, 0, len(s.labels)+len(s.tags))
+		annotated = append(append(annotated, s.labels...), s.tags...)
+	}
 	if e := s.r.emitter.Load(); e != nil {
 		e.Emit(Event{
 			TimeUnixNano: s.start.UnixNano(),
 			Kind:         KindSpan,
 			Name:         s.name,
 			DurMS:        ms,
-			Labels:       labelMap(s.labels),
+			Labels:       labelMap(annotated),
 			Fields:       fields,
 			SpanID:       s.id,
 			ParentID:     s.parent,
 		})
 	}
 	if tw := s.r.chrome.Load(); tw != nil {
-		tw.Span(s.name, s.start, ms, s.tid, s.id, s.parent, s.labels, fields)
+		tw.Span(s.name, s.start, ms, s.tid, s.id, s.parent, annotated, fields)
 	}
 	if sl := s.r.spanlog.Load(); sl != nil {
 		sl.mu.Lock()
-		io.WriteString(sl.w, "[trace] "+s.name+labelSuffix(s.labels)+" "+formatMS(ms)+"\n")
+		io.WriteString(sl.w, "[trace] "+s.name+labelSuffix(annotated)+" "+formatMS(ms)+"\n")
 		sl.mu.Unlock()
 	}
+}
+
+// CounterTotal sums the named counter across every label variant (the bare
+// series plus all name{k=v,...} series). The SLO tracker and CLI summaries
+// use it to treat per-tenant counters as one aggregate stream.
+func (r *Recorder) CounterTotal(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, e := range r.counters {
+		if e.name == name {
+			total += e.c.Value()
+		}
+	}
+	return total
+}
+
+// DistCountsAbove reports, summed across every label variant of the named
+// distribution, how many observations exceeded threshold and how many were
+// recorded in total. Resolution is one log-histogram bucket: a sample
+// counts as "above" only when it landed in a bucket strictly above the
+// bucket containing threshold, so the answer is exact up to the histogram's
+// ±~33% bucket width (samples sharing the threshold's bucket count as
+// within-objective). This is the raw material for SLO burn rates.
+func (r *Recorder) DistCountsAbove(name string, threshold float64) (above, total int64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.dists {
+		if e.name != name {
+			continue
+		}
+		a, t := e.d.countsAbove(threshold)
+		above += a
+		total += t
+	}
+	return above, total
 }
 
 // Summary is a point-in-time snapshot of every registered metric series,
@@ -545,6 +652,12 @@ func SetGauge(name string, v float64, labels ...Label) { global.Load().SetGauge(
 // Observe records a distribution sample on the global recorder (no-op
 // when disabled).
 func Observe(name string, v float64, labels ...Label) { global.Load().Observe(name, v, labels...) }
+
+// RecordSpan files a completed span on the global recorder (no-op when
+// disabled).
+func RecordSpan(name string, start time.Time, dur time.Duration, labels ...Label) {
+	global.Load().RecordSpan(name, start, dur, labels...)
+}
 
 // --- small helpers -----------------------------------------------------------
 

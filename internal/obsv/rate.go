@@ -75,7 +75,16 @@ func (r *Rate) PerSec() float64 {
 	now := r.now()
 	r.prune(now)
 	oldest := r.samples[0]
-	dt := now.Sub(oldest.t).Seconds()
+	// prune always retains one sample as the rate origin, so after an idle
+	// gap longer than the window the origin can sit arbitrarily far in the
+	// past. Its cumulative count is still right (nothing happened during the
+	// gap), but dividing by the full gap would dilute the rate — clamp the
+	// origin time to the window edge so dt never exceeds the window.
+	origin := oldest.t
+	if cut := now.Add(-r.window); origin.Before(cut) {
+		origin = cut
+	}
+	dt := now.Sub(origin).Seconds()
 	if dt <= 0 {
 		return 0
 	}

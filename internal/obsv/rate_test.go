@@ -62,6 +62,25 @@ func TestRateIdleDecay(t *testing.T) {
 	}
 }
 
+func TestRateIdleGapFullyDecays(t *testing.T) {
+	r, clk := newTestRate(10 * time.Second)
+	clk.advance(2 * time.Second)
+	r.Add(1000) // pre-gap burst
+	// Idle far longer than the window: every in-window event is gone, so the
+	// stale origin retained by prune must not leak into the rate.
+	clk.advance(18 * time.Second)
+	if got := r.PerSec(); got != 0 {
+		t.Fatalf("rate after idle gap = %v, want 0 (window fully decayed)", got)
+	}
+	// Fresh traffic after the gap: the rate must reflect only post-gap events
+	// over at most one window, not (post-gap events)/(gap + window).
+	r.Add(500)
+	got := r.PerSec()
+	if got < 45 || got > 55 {
+		t.Fatalf("post-gap rate = %v, want ≈50 (500 events over the 10s window)", got)
+	}
+}
+
 func TestRateSamplesBounded(t *testing.T) {
 	r, clk := newTestRate(10 * time.Second)
 	// A hot loop adding far faster than the coalescing granularity must not

@@ -102,6 +102,17 @@ type Stream struct {
 	sampled   []int
 	submitted time.Time
 
+	// Latency decomposition, written only by the scheduler goroutine and
+	// published by the close of done (read via Timing after Done). Plain
+	// fields — not spans — so per-token attribution costs zero allocations;
+	// the server reconstructs queue/decode spans from them at request end.
+	admitted   time.Time // slot acquired; zero if never admitted
+	firstToken time.Time // first sampled continuation token; zero if none
+	lastToken  time.Time // latest sampled continuation token
+	steps      int64     // batched steps this stream participated in
+	decodeNS   int64     // total duration of those steps (includes co-batch work)
+	maxGapNS   int64     // widest gap between consecutive sampled tokens
+
 	cancelled atomic.Bool
 	cause     atomic.Pointer[error] // first CancelCause wins
 	done      chan struct{}
@@ -149,6 +160,34 @@ func (s *Stream) Result() Result { return s.result }
 // Sampled returns how many continuation tokens have been produced so far.
 // It is safe to call from an OnSample/OnToken hook.
 func (s *Stream) Sampled() int { return len(s.sampled) }
+
+// StreamTiming is a stream's latency decomposition as attributed by the
+// scheduler step loop: when it was submitted and admitted, when its first
+// and latest continuation tokens were sampled, how many batched steps it
+// rode in and their summed duration, and the widest inter-token gap.
+type StreamTiming struct {
+	Submitted  time.Time
+	Admitted   time.Time // zero if the stream never reached a slot
+	FirstToken time.Time // zero if no continuation token was sampled
+	LastToken  time.Time
+	Steps      int64
+	DecodeNS   int64 // summed step durations (shared with co-batched streams)
+	MaxGapNS   int64
+}
+
+// Timing returns the stream's latency decomposition. Valid only after Done
+// is closed (the channel close publishes the scheduler's writes).
+func (s *Stream) Timing() StreamTiming {
+	return StreamTiming{
+		Submitted:  s.submitted,
+		Admitted:   s.admitted,
+		FirstToken: s.firstToken,
+		LastToken:  s.lastToken,
+		Steps:      s.steps,
+		DecodeNS:   s.decodeNS,
+		MaxGapNS:   s.maxGapNS,
+	}
+}
 
 // Scheduler drives one nn.Decoder with continuous batching. Submit and
 // Stream.Cancel are safe from any goroutine; Run/Serve must be the only
@@ -252,9 +291,14 @@ func (s *Scheduler) Run(ctx context.Context) error { return s.run(ctx, false) }
 // unfinished stream with ctx.Err().
 func (s *Scheduler) Serve(ctx context.Context) error { return s.run(ctx, true) }
 
+// stepSpanSample is the batched-step span sampling stride: one decode.step
+// span is recorded per this many StepBatch calls.
+const stepSpanSample = 64
+
 func (s *Scheduler) run(ctx context.Context, keepAlive bool) error {
 	span := obsv.StartSpan("decode.run")
 	defer span.End()
+	var stepCount uint64
 
 	// active is indexed by slot; nil entries are free slots.
 	active := make([]*Stream, s.dec.Slots())
@@ -298,7 +342,8 @@ func (s *Scheduler) run(ctx context.Context, keepAlive bool) error {
 					active[slot] = st
 					nActive++
 					obsv.Add("decode.streams_admitted", 1)
-					wait := float64(time.Since(st.submitted)) / float64(time.Millisecond)
+					st.admitted = time.Now()
+					wait := float64(st.admitted.Sub(st.submitted)) / float64(time.Millisecond)
 					if st.req.Tenant != "" {
 						obsv.Observe("serve.queue_wait_ms", wait, obsv.L("tenant", st.req.Tenant))
 					} else {
@@ -362,6 +407,12 @@ func (s *Scheduler) run(ctx context.Context, keepAlive bool) error {
 		return s.dec.StepBatch(tokens, slots)
 	}
 
+	// stepEnd/stepNS describe the batched step being applied by advance;
+	// sharing the loop's timestamps keeps per-stream attribution down to
+	// plain field writes (no extra clock reads, no allocation per token).
+	var stepEnd time.Time
+	var stepNS int64
+
 	// advance applies one sampled step to one stream with per-stream panic
 	// containment: a poisoned request (hook or sampler panic) finishes with
 	// StreamPanicError while co-batched streams continue untouched.
@@ -372,12 +423,20 @@ func (s *Scheduler) run(ctx context.Context, keepAlive bool) error {
 				finish(st, Result{ID: st.req.ID, Err: &StreamPanicError{ID: st.req.ID, Value: r}})
 			}
 		}()
+		st.steps++
+		st.decodeNS += stepNS
 		st.fed++
 		if st.fed < len(st.req.Prompt) {
 			st.next = st.req.Prompt[st.fed]
 			return
 		}
 		tok := nn.SampleLogits(row, st.req.Cfg, st.rng)
+		if st.firstToken.IsZero() {
+			st.firstToken = stepEnd
+		} else if gap := int64(stepEnd.Sub(st.lastToken)); gap > st.maxGapNS {
+			st.maxGapNS = gap
+		}
+		st.lastToken = stepEnd
 		st.sampled = append(st.sampled, tok)
 		if s.OnSample != nil {
 			s.OnSample(st, tok)
@@ -466,7 +525,17 @@ func (s *Scheduler) run(ctx context.Context, keepAlive bool) error {
 			}
 			return err
 		}
-		obsv.Observe("decode.step_ms", float64(time.Since(stepStart))/float64(time.Millisecond))
+		stepEnd = time.Now()
+		stepNS = int64(stepEnd.Sub(stepStart))
+		obsv.Observe("decode.step_ms", float64(stepNS)/float64(time.Millisecond))
+		// Sample every stepSpanSample-th batch as a decode.step span so
+		// traces show batch cadence without one span record per step (the
+		// emitted-event volume would swamp a trace; the registry cost is
+		// amortised to nothing).
+		if stepCount%stepSpanSample == 0 {
+			obsv.RecordSpan("decode.step", stepStart, stepEnd.Sub(stepStart))
+		}
+		stepCount++
 		obsv.Add("decode.tokens", int64(len(tokens)))
 		s.rate.Add(int64(len(tokens)))
 		obsv.SetGauge("decode.tokens_per_sec", s.rate.PerSec())

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -13,11 +14,17 @@ import (
 )
 
 // BenchmarkServeSchedulerToken measures the serving path's per-token cost
-// through the scheduler at batch 1 (greedy decode, one op per token). The
-// BENCH_serve.json gate pins allocs/op at 0: steady-state decode allocates
-// nothing per token, and the scheduler's per-request bookkeeping must stay
-// small enough to amortize below one allocation per token.
+// through the scheduler at batch 1 (greedy decode, one op per token) with a
+// live recorder installed, so the per-stream timing attribution and the
+// sampled decode.step spans are in the measured path. The BENCH_serve.json
+// gate pins allocs/op at 0: steady-state decode allocates nothing per
+// token, and all per-request observability (span records, labeled dists)
+// must amortize below one allocation per token.
 func BenchmarkServeSchedulerToken(b *testing.B) {
+	rec := obsv.New()
+	obsv.SetGlobal(rec)
+	defer obsv.SetGlobal(nil)
+
 	m := testModel(600)
 	dec := nn.NewBatchDecoder(m, 1, nil)
 	defer dec.Close()
@@ -55,11 +62,12 @@ func BenchmarkServeSchedulerToken(b *testing.B) {
 }
 
 // BenchmarkServeHTTPBatch1 measures one full request through the HTTP front
-// end at batch 1 (one op per request, 24 greedy tokens each) and reports
-// throughput plus the p99 of serve.queue_wait_ms. The BENCH_serve.json
-// gates are a conservative tok/s floor and a generous p99 ceiling: they
-// catch queueing collapse (a lost wakeup, an accidental serial bottleneck),
-// not machine-speed drift.
+// end at batch 1 (one op per request, 24 greedy tokens each) with the access
+// log writing to a discard sink, and reports throughput plus the p99 of
+// serve.queue_wait_ms and serve.ttft_ms. The BENCH_serve.json gates are a
+// conservative tok/s floor and generous latency ceilings: they catch
+// queueing or admission collapse (a lost wakeup, an accidental serial
+// bottleneck), not machine-speed drift.
 func BenchmarkServeHTTPBatch1(b *testing.B) {
 	rec := obsv.New()
 	obsv.SetGlobal(rec)
@@ -68,7 +76,7 @@ func BenchmarkServeHTTPBatch1(b *testing.B) {
 	m := testModel(601)
 	dec := nn.NewBatchDecoder(m, 1, nil)
 	defer dec.Close()
-	srv := NewServer(dec, ServerConfig{MaxQueue: 4})
+	srv := NewServer(dec, ServerConfig{MaxQueue: 4, AccessLog: NewAccessLog(io.Discard)})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.Drain()
@@ -99,12 +107,16 @@ func BenchmarkServeHTTPBatch1(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N*perReq)/sec, "tok/s")
 	}
-	// p99 queue wait across tenant label variants.
-	var p99 float64
+	// p99 queue wait and TTFT across tenant label variants.
+	var p99, ttft99 float64
 	for key, d := range rec.Snapshot().Dists {
 		if strings.HasPrefix(key, "serve.queue_wait_ms") && d.P99 > p99 {
 			p99 = d.P99
 		}
+		if strings.HasPrefix(key, "serve.ttft_ms") && d.P99 > ttft99 {
+			ttft99 = d.P99
+		}
 	}
 	b.ReportMetric(p99, "p99ms")
+	b.ReportMetric(ttft99, "ttftp99ms")
 }

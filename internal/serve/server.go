@@ -53,11 +53,23 @@ type ServerConfig struct {
 	// mid-stream cancellation at the halfway token, stall → the decode
 	// blocks at the halfway token until the stall watchdog kills the stream.
 	Injector *fault.Injector
+	// AccessLog, when non-nil, receives exactly one JSONL record per
+	// /v1/generate request — including admission rejects.
+	AccessLog *AccessLog
+	// SLO, when non-nil, is the burn-rate tracker surfaced on /statusz.
+	// The server only reports SLO state; it never feeds admission — an
+	// objective burning its budget must not cause 503s of its own.
+	SLO *obsv.SLOTracker
 }
 
 // errInjectedCancel is the terminal cause of a stream cancelled by a
 // ModeCancel fault injection.
 var errInjectedCancel = errors.New("serve: injected mid-stream cancel")
+
+// errDisconnected is the terminal cause of a stream cancelled because the
+// client went away; it wraps ErrCancelled so status mapping is unchanged
+// while the access log can tell disconnects from other cancellations.
+var errDisconnected = fmt.Errorf("serve: client disconnected: %w", ErrCancelled)
 
 // Server is the multi-tenant HTTP inference front end: admission control
 // and load shedding ahead of the scheduler, per-request deadlines and stall
@@ -160,10 +172,19 @@ type errorResponse struct {
 	Code  string `json:"code"`
 }
 
-// writeError emits the uniform JSON error shape, attaching Retry-After on
-// the shed/drain statuses where a retry can help.
+// requestIDHeader propagates request identity: clients may supply it (or a
+// body id); the server echoes the resolved ID on every response, success or
+// typed error, so one grep ties an HTTP exchange to its trace spans and
+// access-log line.
+const requestIDHeader = "X-Edgellm-Request-Id"
+
+// writeError emits the uniform JSON error shape, echoing the request ID and
+// attaching Retry-After on the shed/drain statuses where a retry can help.
 func (s *Server) writeError(w http.ResponseWriter, status int, id, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	if id != "" {
+		w.Header().Set(requestIDHeader, id)
+	}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
@@ -192,15 +213,165 @@ func statusFor(err error) (int, string) {
 	}
 }
 
+// requestObs carries one request's observability state through the handler:
+// the root serve.request span (tagged with the request ID so the Perfetto
+// timeline is greppable per request), the access-log record, and the span
+// fields accumulated along the way. Every exit path funnels through fail or
+// finish, so each request ends its span and writes exactly one log line no
+// matter how it dies. All cost here is per-request, never per-token.
+type requestObs struct {
+	s      *Server
+	start  time.Time
+	rec    AccessRecord
+	root   obsv.Span
+	wd     *govern.Watchdog
+	fields map[string]float64
+	admEnd bool // serve.admission child recorded
+	logged bool
+}
+
+func (s *Server) newRequestObs(headerID string) *requestObs {
+	o := &requestObs{s: s, start: time.Now()}
+	o.rec.TimeUnixNano = o.start.UnixNano()
+	o.rec.ID = headerID
+	return o
+}
+
+// begin opens the root span once the request's identity is resolved.
+func (o *requestObs) begin(req *generateRequest) {
+	o.rec.ID = req.ID
+	o.rec.Tenant = req.Tenant
+	o.rec.Adapter = req.Adapter
+	o.rec.PromptTokens = len(req.Prompt)
+	o.root = obsv.StartSpan("serve.request", obsv.L("tenant", req.Tenant)).Tag("req", req.ID)
+}
+
+// event appends a degradation annotation to the access-log record.
+func (o *requestObs) event(ev string) { o.rec.Events = append(o.rec.Events, ev) }
+
+// field attaches a numeric field to the root span's emitted event.
+func (o *requestObs) field(k string, v float64) {
+	if o.fields == nil {
+		o.fields = make(map[string]float64, 4)
+	}
+	o.fields[k] = v
+}
+
+// endAdmission records the serve.admission child exactly once, spanning
+// handler start through the last admission check that ran (the KV
+// reservation on success, the failing check on a reject).
+func (o *requestObs) endAdmission() {
+	if o.admEnd {
+		return
+	}
+	o.admEnd = true
+	o.root.ObserveChild("serve.admission", o.start, time.Since(o.start), nil)
+}
+
+// fail writes the typed error response and finishes the request's
+// observability in one step.
+func (o *requestObs) fail(w http.ResponseWriter, status int, code string, err error) {
+	o.s.writeError(w, status, o.rec.ID, code, err)
+	o.finish(status, code, err)
+}
+
+// finish ends the root span and writes the access-log record (idempotent).
+func (o *requestObs) finish(status int, code string, err error) {
+	if o.logged {
+		return
+	}
+	o.logged = true
+	o.endAdmission()
+	o.rec.Status = status
+	o.rec.Code = code
+	if err != nil {
+		o.rec.Err = err.Error()
+	}
+	o.rec.TotalMS = float64(time.Since(o.start)) / float64(time.Millisecond)
+	o.root.EndWith(o.fields)
+	o.s.cfg.AccessLog.Write(&o.rec)
+}
+
+// observeStream folds the scheduler's per-stream timing into the request's
+// metrics (per-tenant TTFT/ITL/request dists), the span timeline (queue and
+// decode children reconstructed from the timestamps the step loop stamped),
+// and the access-log record.
+func (o *requestObs) observeStream(st *Stream, req *generateRequest, res Result) {
+	tenant := obsv.L("tenant", req.Tenant)
+	obsv.Add("serve.requests", 1, tenant)
+	obsv.Observe("serve.request_ms", float64(time.Since(o.start))/float64(time.Millisecond), tenant)
+	tm := st.Timing()
+	o.rec.Tokens = st.Sampled()
+	o.rec.Steps = tm.Steps
+	o.rec.DecodeMS = float64(tm.DecodeNS) / float64(time.Millisecond)
+	if !tm.Admitted.IsZero() {
+		o.rec.QueueMS = float64(tm.Admitted.Sub(tm.Submitted)) / float64(time.Millisecond)
+		o.root.ObserveChild("serve.queue", tm.Submitted, tm.Admitted.Sub(tm.Submitted), nil)
+	}
+	if !tm.FirstToken.IsZero() {
+		ttft := float64(tm.FirstToken.Sub(o.start)) / float64(time.Millisecond)
+		o.rec.TTFTMS = ttft
+		obsv.Observe("serve.ttft_ms", ttft, tenant)
+		o.field("ttft_ms", ttft)
+		if n := st.Sampled(); n > 1 {
+			itl := float64(tm.LastToken.Sub(tm.FirstToken)) / float64(time.Millisecond) / float64(n-1)
+			o.rec.ITLMeanMS = itl
+			o.rec.ITLMaxMS = float64(tm.MaxGapNS) / float64(time.Millisecond)
+			obsv.Observe("serve.itl_ms", itl, tenant)
+		}
+		o.root.ObserveChild("serve.decode", tm.Admitted, tm.LastToken.Sub(tm.Admitted),
+			map[string]float64{
+				"tokens":    float64(st.Sampled()),
+				"steps":     float64(tm.Steps),
+				"decode_ms": o.rec.DecodeMS,
+			})
+	} else if !tm.Admitted.IsZero() && tm.Steps > 0 {
+		// Admitted and fed, but killed before the first sampled token.
+		o.root.ObserveChild("serve.decode", tm.Admitted, time.Duration(tm.DecodeNS), nil)
+	}
+	if res.Err == nil {
+		obsv.Add("serve.tokens", int64(len(res.Tokens)-len(req.Prompt)), tenant)
+	} else {
+		obsv.Add("serve.errors", 1, tenant)
+		o.annotateError(res.Err)
+	}
+}
+
+// annotateError translates a stream's terminal error into access-log
+// degradation events, including where in the request timeline a stall
+// watchdog fired.
+func (o *requestObs) annotateError(err error) {
+	var stall *govern.StallError
+	var panicErr *StreamPanicError
+	switch {
+	case errors.As(err, &stall):
+		o.event("stall_killed")
+		if t := o.wd.FiredAt(); !t.IsZero() {
+			o.field("stall_fired_ms", float64(t.Sub(o.start))/float64(time.Millisecond))
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		o.event("deadline")
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		o.event("drain_cancelled")
+	case errors.As(err, &panicErr):
+		o.event("stream_panic")
+	case errors.Is(err, errInjectedCancel):
+		o.event("injected_cancel")
+	case errors.Is(err, errDisconnected):
+		o.event("disconnect")
+	}
+}
+
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	o := s.newRequestObs(r.Header.Get(requestIDHeader))
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "", "method_not_allowed",
+		o.fail(w, http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Errorf("serve: %s not allowed", r.Method))
 		return
 	}
 	if !s.beginRequest() {
 		obsv.Add("serve.drained", 1)
-		s.writeError(w, http.StatusServiceUnavailable, "", "draining",
+		o.fail(w, http.StatusServiceUnavailable, "draining",
 			errors.New("serve: server is draining"))
 		return
 	}
@@ -208,9 +379,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req generateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "", "bad_request",
+		o.fail(w, http.StatusBadRequest, "bad_request",
 			fmt.Errorf("serve: parse request: %w", err))
 		return
+	}
+	// Request identity: body id beats the X-Edgellm-Request-Id header beats
+	// a server-generated id. Whichever wins is echoed on the response and
+	// tags the trace spans and the access-log line.
+	if req.ID == "" {
+		req.ID = o.rec.ID
 	}
 	if req.ID == "" {
 		req.ID = fmt.Sprintf("r%d", s.nextID.Add(1))
@@ -218,6 +395,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if req.Tenant == "" {
 		req.Tenant = "default"
 	}
+	o.begin(&req)
 
 	// Admission-stage fault seam: deterministic injected rejections.
 	mode := fault.Mode("")
@@ -226,7 +404,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	if mode == fault.ModeFail {
 		obsv.Add("serve.shed", 1, obsv.L("reason", "injected"))
-		s.writeError(w, http.StatusServiceUnavailable, req.ID, "injected_fault",
+		o.event("injected_fault")
+		o.fail(w, http.StatusServiceUnavailable, "injected_fault",
 			&fault.PermanentError{Msg: "injected admission failure in " + req.ID})
 		return
 	}
@@ -237,11 +416,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		MaxTokens: req.MaxTokens, Seed: req.Seed,
 	}
 	if err := sample.Validate(); err != nil {
-		s.writeError(w, http.StatusBadRequest, req.ID, "bad_request", err)
+		o.fail(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	if len(req.Prompt) == 0 || len(req.Prompt)+req.MaxTokens > cfg.MaxSeq {
-		s.writeError(w, http.StatusBadRequest, req.ID, "bad_request",
+		o.fail(w, http.StatusBadRequest, "bad_request",
 			fmt.Errorf("serve: need a non-empty prompt with prompt+max_tokens ≤ %d", cfg.MaxSeq))
 		return
 	}
@@ -249,7 +428,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// Per-tenant concurrency cap.
 	if !s.tenantAcquire(req.Tenant) {
 		obsv.Add("serve.shed", 1, obsv.L("reason", "tenant"))
-		s.writeError(w, http.StatusTooManyRequests, req.ID, "tenant_limit",
+		o.fail(w, http.StatusTooManyRequests, "tenant_limit",
 			fmt.Errorf("serve: tenant %s is at its %d-request limit", req.Tenant, s.cfg.TenantSlots))
 		return
 	}
@@ -262,7 +441,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		obsv.Add("serve.shed", 1, obsv.L("reason", "queue"))
-		s.writeError(w, http.StatusTooManyRequests, req.ID, "overloaded",
+		o.fail(w, http.StatusTooManyRequests, "overloaded",
 			fmt.Errorf("serve: queue full (%d waiting + %d active)", s.cfg.MaxQueue, s.dec.Slots()))
 		return
 	}
@@ -274,35 +453,39 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		var over *govern.OverBudgetError
 		if errors.As(err, &over) && over.Permanent {
 			obsv.Add("serve.shed", 1, obsv.L("reason", "unfittable"))
-			s.writeError(w, http.StatusRequestEntityTooLarge, req.ID, "unfittable", err)
+			o.fail(w, http.StatusRequestEntityTooLarge, "unfittable", err)
 			return
 		}
 		obsv.Add("serve.shed", 1, obsv.L("reason", "memory"))
-		s.writeError(w, http.StatusTooManyRequests, req.ID, "memory", err)
+		o.fail(w, http.StatusTooManyRequests, "memory", err)
 		return
 	}
 	defer s.adm.Release(kvNeed)
+	o.endAdmission()
 
 	// Resolve the tenant's adapter through the registry (pinned until the
 	// stream finishes). Corruption is a clean 4xx, never a panic.
 	var adapter *nn.Adapter
 	if req.Adapter != "" {
+		load := o.root.Child("serve.adapter_load")
 		if s.cfg.Registry == nil {
-			s.writeError(w, http.StatusNotFound, req.ID, "adapter_not_found",
+			load.End()
+			o.fail(w, http.StatusNotFound, "adapter_not_found",
 				fmt.Errorf("%w: no adapter registry configured", ErrAdapterNotFound))
 			return
 		}
 		a, err := s.cfg.Registry.Acquire(req.Adapter)
+		load.End()
 		if err != nil {
 			var corrupt *CorruptAdapterError
 			switch {
 			case errors.As(err, &corrupt):
-				s.writeError(w, http.StatusUnprocessableEntity, req.ID, "adapter_corrupt", err)
+				o.fail(w, http.StatusUnprocessableEntity, "adapter_corrupt", err)
 			case errors.Is(err, ErrRegistryBusy):
 				obsv.Add("serve.shed", 1, obsv.L("reason", "adapters"))
-				s.writeError(w, http.StatusTooManyRequests, req.ID, "adapters_busy", err)
+				o.fail(w, http.StatusTooManyRequests, "adapters_busy", err)
 			default:
-				s.writeError(w, http.StatusNotFound, req.ID, "adapter_not_found", err)
+				o.fail(w, http.StatusNotFound, "adapter_not_found", err)
 			}
 			return
 		}
@@ -317,7 +500,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if h := r.Header.Get("X-Edgellm-Deadline-Ms"); h != "" {
 		ms, err := strconv.Atoi(h)
 		if err != nil || ms <= 0 {
-			s.writeError(w, http.StatusBadRequest, req.ID, "bad_request",
+			o.fail(w, http.StatusBadRequest, "bad_request",
 				fmt.Errorf("serve: bad X-Edgellm-Deadline-Ms %q", h))
 			return
 		}
@@ -337,6 +520,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		wctx, wd = govern.Budget{HeartbeatTimeout: s.cfg.StallTimeout}.Watch(reqCtx, "serve:"+req.ID)
 		wd.Beat() // arm: queue wait counts as production time
 		defer wd.Stop()
+		o.wd = wd
 	}
 
 	// cancelForCtx maps the request context's demise to a typed cancellation
@@ -356,7 +540,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(cause, context.DeadlineExceeded) {
 				obsv.Add("serve.deadline_exceeded", 1)
 			} else if errors.Is(cause, context.Canceled) {
-				cause = fmt.Errorf("serve: client disconnected: %w", ErrCancelled)
+				cause = errDisconnected
 				obsv.Add("serve.disconnects", 1)
 			}
 			st.CancelCause(cause)
@@ -402,7 +586,6 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	start := time.Now()
 	st, err := s.sched.Submit(Request{
 		ID: req.ID, Tenant: req.Tenant, Prompt: req.Prompt,
 		Cfg: sample, Adapter: adapter, OnToken: onToken,
@@ -410,10 +593,10 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, ErrClosed) {
 			obsv.Add("serve.drained", 1)
-			s.writeError(w, http.StatusServiceUnavailable, req.ID, "draining", err)
+			o.fail(w, http.StatusServiceUnavailable, "draining", err)
 			return
 		}
-		s.writeError(w, http.StatusBadRequest, req.ID, "bad_request", err)
+		o.fail(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	s.trackStream(st, true)
@@ -431,38 +614,31 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	if req.Stream {
-		s.streamResponse(w, st, &req, tokCh, start)
+		s.streamResponse(w, st, &req, tokCh, o)
 	} else {
-		s.unaryResponse(w, st, &req, start)
+		s.unaryResponse(w, st, &req, o)
 	}
 }
 
-// finishMetrics records the per-tenant outcome telemetry for one request.
-func (s *Server) finishMetrics(req *generateRequest, res Result, start time.Time) {
-	tenant := obsv.L("tenant", req.Tenant)
-	obsv.Add("serve.requests", 1, tenant)
-	obsv.Observe("serve.request_ms", float64(time.Since(start))/float64(time.Millisecond), tenant)
-	if res.Err == nil {
-		obsv.Add("serve.tokens", int64(len(res.Tokens)-len(req.Prompt)), tenant)
-	} else {
-		obsv.Add("serve.errors", 1, tenant)
-	}
-}
-
-func (s *Server) unaryResponse(w http.ResponseWriter, st *Stream, req *generateRequest, start time.Time) {
+func (s *Server) unaryResponse(w http.ResponseWriter, st *Stream, req *generateRequest, o *requestObs) {
 	<-st.Done()
 	res := st.Result()
-	s.finishMetrics(req, res, start)
+	o.observeStream(st, req, res)
 	if res.Err != nil {
 		status, code := statusFor(res.Err)
-		s.writeError(w, status, req.ID, code, res.Err)
+		o.fail(w, status, code, res.Err)
 		return
 	}
+	flush := o.root.Child("serve.flush")
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(requestIDHeader, req.ID)
 	json.NewEncoder(w).Encode(generateResponse{
 		ID: req.ID, Tenant: req.Tenant, Adapter: req.Adapter, Tokens: res.Tokens,
-		TotalMS: float64(time.Since(start)) / float64(time.Millisecond), Done: true,
+		QueueWaitMS: o.rec.QueueMS,
+		TotalMS:     float64(time.Since(o.start)) / float64(time.Millisecond), Done: true,
 	})
+	flush.End()
+	o.finish(http.StatusOK, "ok", nil)
 }
 
 // streamChunk is one NDJSON line of a streaming response.
@@ -475,8 +651,9 @@ type streamChunk struct {
 // blocks on this path: tokens flow through a channel buffered to MaxTokens,
 // so a slow client costs only its own latency. A failed write cancels the
 // stream, reclaiming the KV slot immediately.
-func (s *Server) streamResponse(w http.ResponseWriter, st *Stream, req *generateRequest, tokCh chan int, start time.Time) {
+func (s *Server) streamResponse(w http.ResponseWriter, st *Stream, req *generateRequest, tokCh chan int, o *requestObs) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(requestIDHeader, req.ID)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -503,15 +680,23 @@ func (s *Server) streamResponse(w http.ResponseWriter, st *Stream, req *generate
 					alive = writeChunk(tok)
 				default:
 					res := st.Result()
-					s.finishMetrics(req, res, start)
+					o.observeStream(st, req, res)
+					flush := o.root.Child("serve.flush")
+					// The HTTP status is already 200; the access-log Code
+					// carries the stream's real verdict.
 					if res.Err != nil {
 						_, code := statusFor(res.Err)
 						enc.Encode(errorResponse{ID: req.ID, Error: res.Err.Error(), Code: code})
+						flush.End()
+						o.finish(http.StatusOK, code, res.Err)
 					} else {
 						enc.Encode(generateResponse{
 							ID: req.ID, Tenant: req.Tenant, Adapter: req.Adapter, Tokens: res.Tokens,
-							TotalMS: float64(time.Since(start)) / float64(time.Millisecond), Done: true,
+							QueueWaitMS: o.rec.QueueMS,
+							TotalMS:     float64(time.Since(o.start)) / float64(time.Millisecond), Done: true,
 						})
+						flush.End()
+						o.finish(http.StatusOK, "ok", nil)
 					}
 					if flusher != nil {
 						flusher.Flush()
@@ -524,7 +709,14 @@ func (s *Server) streamResponse(w http.ResponseWriter, st *Stream, req *generate
 	// Client is gone; wait for the scheduler to retire the stream so the
 	// slot is provably reclaimed before the handler exits.
 	<-st.Done()
-	s.finishMetrics(req, st.Result(), start)
+	res := st.Result()
+	o.observeStream(st, req, res)
+	o.event("client_write_failed")
+	code := "ok"
+	if res.Err != nil {
+		_, code = statusFor(res.Err)
+	}
+	o.finish(http.StatusOK, code, res.Err)
 }
 
 func (s *Server) tenantAcquire(tenant string) bool {
@@ -592,12 +784,16 @@ func (s *Server) endRequest() {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
 	if s.draining.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, "", "draining",
-			errors.New("serve: server is draining"))
+		// Distinct body from the overload 503s: black-box probes tell a
+		// deliberate drain ({"status":"draining"}) from shedding (an
+		// errorResponse with code "overloaded"/"draining") at a glance.
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
@@ -624,14 +820,18 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	status := map[string]any{
 		"draining":          s.draining.Load(),
 		"active_requests":   active,
 		"queue_depth":       s.sched.QueueDepth(),
 		"slots":             s.dec.Slots(),
 		"reserved_kv_bytes": s.adm.ReservedBytes(),
 		"tenants":           tenants,
-	})
+	}
+	if s.cfg.SLO != nil {
+		status["slo"] = s.cfg.SLO.Status()
+	}
+	json.NewEncoder(w).Encode(status)
 }
 
 // Drain gracefully stops the server: admission is closed immediately (new

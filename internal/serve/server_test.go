@@ -604,7 +604,9 @@ func TestServerDrainShedsAndEmptiesArena(t *testing.T) {
 		t.Fatalf("arena holds %d bytes after drain", n)
 	}
 
-	// Post-drain: healthz and generate both refuse with 503 + Retry-After.
+	// Post-drain: healthz refuses with 503 + Retry-After and the distinct
+	// {"status":"draining"} body, so black-box probes can tell a deliberate
+	// drain from overload shedding without parsing error codes.
 	resp, err := ts.Client().Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -612,7 +614,18 @@ func TestServerDrainShedsAndEmptiesArena(t *testing.T) {
 	var body bytes.Buffer
 	body.ReadFrom(resp.Body)
 	resp.Body.Close()
-	wantError(t, resp, body.Bytes(), http.StatusServiceUnavailable, "draining")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz missing Retry-After")
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body.Bytes(), &health); err != nil || health.Status != "draining" {
+		t.Fatalf("draining healthz body = %q, want {\"status\":\"draining\"} (err %v)", body.String(), err)
+	}
 
 	blob, _ := json.Marshal(generateRequest{ID: "late", Prompt: []int{1}, MaxTokens: 2})
 	post, err := ts.Client().Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(blob))
