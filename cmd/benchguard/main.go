@@ -17,7 +17,11 @@
 //   - benchmarks reporting the custom p99ms metric (the serve suite's
 //     queue-wait tail) must stay below the baseline's p99_ms ceiling plus
 //     the tolerance — a generous bound that catches queueing collapse (a
-//     lost wakeup, unbounded waiting), not latency drift.
+//     lost wakeup, unbounded waiting), not latency drift;
+//   - benchmarks reporting the custom wbytes metric (the packed suite's
+//     resident weight bytes) must stay at or below the baseline's wbytes
+//     ceiling exactly — packed storage is deterministic, so any growth
+//     means the bit budget stopped buying the bytes it claims.
 //
 // Wall-clock ns/op is recorded in the artifact but never gated: it is not
 // comparable across machines. The decode baseline's tok/s floors are set
@@ -51,6 +55,7 @@ type benchResult struct {
 	TokS       float64 `json:"tok_s,omitempty"`
 	P99MS      float64 `json:"p99_ms,omitempty"`
 	TTFTP99MS  float64 `json:"ttft_p99_ms,omitempty"`
+	WBytes     float64 `json:"wbytes,omitempty"`
 	BOp        int64   `json:"b_op"`
 	AllocsOp   int64   `json:"allocs_op"`
 }
@@ -80,6 +85,11 @@ type gate struct {
 	// that delays the first token — admission or prompt-step collapse —
 	// which aggregate tok/s can hide.
 	TTFTP99MS float64 `json:"ttft_p99_ms,omitempty"`
+	// WBytes, when > 0, is an exact ceiling on the benchmark's custom
+	// wbytes metric (packed resident weight bytes). No tolerance: packed
+	// storage is a deterministic function of shape and bit width, so any
+	// increase is a real regression in the bit budget's memory story.
+	WBytes float64 `json:"wbytes,omitempty"`
 }
 
 // speedupSpec names a (parallel, serial) benchmark pair whose ns/op ratio
@@ -226,6 +236,8 @@ func parseBench(r io.Reader, out map[string]benchResult) error {
 				res.P99MS = v
 			case "ttftp99ms":
 				res.TTFTP99MS = v
+			case "wbytes":
+				res.WBytes = v
 			case "B/op":
 				res.BOp = int64(v)
 			case "allocs/op":
@@ -306,6 +318,10 @@ func check(rep report, base baseline) []error {
 				errs = append(errs, fmt.Errorf("%s: ttft p99 %.3fms exceeds baseline ceiling %.3fms (+%.0f%% allowed)",
 					name, got.TTFTP99MS, g.TTFTP99MS, base.Tolerance*100))
 			}
+		}
+		if g.WBytes > 0 && got.WBytes > g.WBytes {
+			errs = append(errs, fmt.Errorf("%s: %.0f resident weight bytes exceeds baseline ceiling %.0f (no tolerance: packed storage is deterministic)",
+				name, got.WBytes, g.WBytes))
 		}
 	}
 	for name, spec := range speedupPairs(&base) {

@@ -39,6 +39,7 @@ func cmdDecodeBench(args []string) error {
 	vocab := fs.Int("vocab", 2048, "vocabulary size")
 	temp := fs.Float64("temp", 0.8, "sampling temperature (0 = greedy)")
 	seed := fs.Int64("seed", 42, "model and sampling seed")
+	bitsSpec := fs.String("bits", "", `pack block weights and decode through the fused kernels: "2".."8" (uniform width), "nf4" (normal-float codebook), or "luc@<avg-bits>" (per-layer LUC assignment under an average-bit budget, e.g. luc@3.5); empty decodes float32`)
 	faultSpec := fs.String("fault", "", `cancel streams mid-generation: comma-separated mode=ID pairs over stream ids S0..S<n-1>, e.g. "fail=S3,fail=S7" (use mode fail)`)
 	verify := fs.Bool("verify", true, "check surviving streams token-for-token against solo decodes and require the arena to drain")
 	compare := fs.Bool("compare", false, "also run the workload one stream at a time and report the batch speedup")
@@ -63,6 +64,34 @@ func cmdDecodeBench(args []string) error {
 	}
 	m := nn.NewModel(cfg, tensor.NewRNG(*seed))
 
+	// With -bits, the float32 block weights are adopted into a dedicated
+	// weight pool, packed, and released: the packed representation becomes
+	// the only resident copy, and the pool's live-byte drop is the
+	// measurable memory win the bit budget promised.
+	var pm *nn.PackedModel
+	var packDesc string
+	var weightPoolDrop int64
+	if *bitsSpec != "" {
+		wpool := tensor.NewPool()
+		adopted := nn.AdoptWeights(m, wpool)
+		specs, desc, err := resolvePackSpecs(m, *bitsSpec)
+		if err != nil {
+			return err
+		}
+		before := wpool.Stats().BytesInUse
+		if pm, err = nn.PackModel(m, specs, wpool); err != nil {
+			return err
+		}
+		weightPoolDrop = before - wpool.Stats().BytesInUse
+		if weightPoolDrop != pm.ReleasedBytes() {
+			return fmt.Errorf("decode-bench: weight pool dropped %d bytes but PackModel released %d",
+				weightPoolDrop, pm.ReleasedBytes())
+		}
+		packDesc = desc
+		fmt.Fprintf(os.Stderr, "decode-bench: packed %s: %s float32 → %s resident (pool drop %s of %s adopted)\n",
+			pm.Describe(), fmtB(pm.ReleasedBytes()), fmtB(pm.StorageBytes()), fmtB(weightPoolDrop), fmtB(adopted))
+	}
+
 	reqs := make([]serve.Request, *streams)
 	for i := range reqs {
 		prompt := make([]int, *promptLen)
@@ -78,7 +107,7 @@ func cmdDecodeBench(args []string) error {
 		}
 	}
 
-	run, err := runDecodeWorkload(m, reqs, *slots, *tokens/2, inj)
+	run, err := runDecodeWorkload(m, pm, reqs, *slots, *tokens/2, inj)
 	if err != nil {
 		return err
 	}
@@ -93,7 +122,14 @@ func cmdDecodeBench(args []string) error {
 			if res.Err != nil {
 				continue // cancelled by injection; survivors are what must match
 			}
-			solo, err := nn.NewDecoder(m).Generate(reqs[i].Prompt, reqs[i].Cfg)
+			soloDec := nn.NewDecoder(m)
+			if pm != nil {
+				if err := soloDec.SetPacked(pm); err != nil {
+					return fmt.Errorf("decode-bench: solo packed decoder: %w", err)
+				}
+			}
+			solo, err := soloDec.Generate(reqs[i].Prompt, reqs[i].Cfg)
+			soloDec.Close()
 			if err != nil {
 				return fmt.Errorf("decode-bench: solo reference for %s: %w", res.ID, err)
 			}
@@ -107,7 +143,7 @@ func cmdDecodeBench(args []string) error {
 
 	var speedup float64
 	if *compare {
-		soloRun, err := runDecodeWorkload(m, reqs, 1, *tokens/2, inj)
+		soloRun, err := runDecodeWorkload(m, pm, reqs, 1, *tokens/2, inj)
 		if err != nil {
 			return err
 		}
@@ -130,6 +166,13 @@ func cmdDecodeBench(args []string) error {
 		if speedup > 0 {
 			out["batch_speedup"] = speedup
 		}
+		if pm != nil {
+			out["packed_spec"] = packDesc
+			out["weight_bytes_f32"] = pm.ReleasedBytes()
+			out["weight_bytes_packed"] = pm.StorageBytes()
+			out["weight_pool_drop_bytes"] = weightPoolDrop
+			out["weight_bytes_ratio"] = float64(pm.StorageBytes()) / float64(pm.ReleasedBytes())
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
@@ -142,6 +185,11 @@ func cmdDecodeBench(args []string) error {
 	fmt.Printf("decoded %d tokens in %d steps over %s (%.1f tok/s)\n",
 		run.tokensFed, run.steps, run.wall.Round(time.Millisecond), tokPerSec)
 	fmt.Printf("arena: cap %s, active after run %s\n", fmtB(run.arenaCap), fmtB(run.arenaActiveAfter))
+	if pm != nil {
+		fmt.Printf("packed weights (%s): %s float32 released → %s resident (%.1f%%), pool drop %s\n",
+			packDesc, fmtB(pm.ReleasedBytes()), fmtB(pm.StorageBytes()),
+			100*float64(pm.StorageBytes())/float64(pm.ReleasedBytes()), fmtB(weightPoolDrop))
+	}
 	if len(run.cancelled) > 0 {
 		fmt.Printf("cancelled mid-stream: %v\n", run.cancelled)
 	}
@@ -171,7 +219,7 @@ type decodeRun struct {
 // slot capacity. When inj is non-nil, each stream consults it once at its
 // halfway token and a returned error cancels the stream — deterministic
 // mid-generation churn for the smoke test.
-func runDecodeWorkload(m *nn.Model, reqs []serve.Request, slots, halfway int, inj *fault.Injector) (*decodeRun, error) {
+func runDecodeWorkload(m *nn.Model, pm *nn.PackedModel, reqs []serve.Request, slots, halfway int, inj *fault.Injector) (*decodeRun, error) {
 	rec := obsv.New()
 	obsv.SetGlobal(rec)
 	defer obsv.SetGlobal(nil)
@@ -179,6 +227,11 @@ func runDecodeWorkload(m *nn.Model, reqs []serve.Request, slots, halfway int, in
 	pool := tensor.NewPool()
 	dec := nn.NewBatchDecoder(m, slots, pool)
 	defer dec.Close()
+	if pm != nil {
+		if err := dec.SetPacked(pm); err != nil {
+			return nil, fmt.Errorf("decode-bench: SetPacked: %w", err)
+		}
+	}
 	sched := serve.New(dec)
 	ctx := context.Background()
 

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"edgellm/internal/luc"
+	"edgellm/internal/nn"
+)
+
+// resolvePackSpecs turns a -bits flag value into per-layer pack specs:
+//
+//	"2".."8"        uniform width for every layer
+//	"nf4"           4-bit normal-float codebook, 64-element blocks
+//	"luc@<avg>"     LUC sensitivity probe + DP search under an average-bit
+//	                budget, then prune + fake-quantize per the policy so
+//	                the packed codes carry the pruned zeros
+//
+// The returned description names the layer assignment for reports.
+func resolvePackSpecs(m *nn.Model, spec string) ([]nn.PackSpec, string, error) {
+	layers := len(m.Blocks)
+	switch {
+	case spec == "nf4":
+		out := make([]nn.PackSpec, layers)
+		for i := range out {
+			out[i] = nn.PackSpec{Bits: 4, NF: true, NFBlock: 64}
+		}
+		return out, "nf4 uniform", nil
+	case strings.HasPrefix(spec, "luc@"):
+		budget, err := strconv.ParseFloat(strings.TrimPrefix(spec, "luc@"), 64)
+		if err != nil || budget <= 0 {
+			return nil, "", fmt.Errorf("bad LUC budget %q: want luc@<avg-bits>, e.g. luc@3.5", spec)
+		}
+		cands := luc.DefaultCandidates()
+		sens := luc.Probe(m, cands, luc.ProbeOptions{Metric: luc.MetricWeightError})
+		policy := luc.SearchDP(sens, cands, budget)
+		// Apply prunes and fake-quantizes in place so the packed codes are
+		// exactly the policy's surviving quantized weights.
+		info := luc.Apply(m, policy, cands)
+		desc := fmt.Sprintf("luc@%.2f achieved %.2f eff. bits: %s",
+			budget, info.AvgEffectiveBits, policy.Describe(cands))
+		return luc.PackSpecs(policy, cands), desc, nil
+	default:
+		bits, err := strconv.Atoi(spec)
+		if err != nil || bits < 2 || bits > 8 {
+			return nil, "", fmt.Errorf("bad -bits %q: want 2..8, nf4, or luc@<avg-bits>", spec)
+		}
+		out := make([]nn.PackSpec, layers)
+		for i := range out {
+			out[i] = nn.PackSpec{Bits: bits}
+		}
+		return out, fmt.Sprintf("uniform %db", bits), nil
+	}
+}

@@ -47,6 +47,7 @@ func cmdServe(args []string) error {
 	memBudget := fs.String("mem-budget", "", "KV-memory admission budget: bytes with optional KiB/MiB/GiB suffix (empty = no memory admission)")
 	adapters := fs.String("adapters", "", "adapter registry directory (empty = base model only)")
 	maxAdapters := fs.Int("max-adapters", 8, "LRU bound on resident adapters")
+	bitsSpec := fs.String("bits", "", `pack block weights and serve through the fused kernels: "2".."8", "nf4", or "luc@<avg-bits>"; packed serving is base-model-only (incompatible with -adapters)`)
 	faultSpec := fs.String("fault", "", `chaos seam: comma-separated mode=ID pairs over request ids, modes fail|panic|cancel|stall (e.g. "panic=R3,cancel=R7")`)
 	telemetryAddr := fs.String("telemetry-addr", "", "serve live telemetry on this host:port (/metrics, /debug/vars, /debug/pprof)")
 	accessLogPath := fs.String("access-log", "", "append one JSONL record per request to this file (analysable offline with `edgellm telemetry serve-report`)")
@@ -74,6 +75,26 @@ func cmdServe(args []string) error {
 		m = nn.NewModel(cfg, tensor.NewRNG(*seed))
 		fmt.Fprintf(os.Stderr, "serve: fresh model dim=%d layers=%d heads=%d hidden=%d vocab=%d maxseq=%d seed=%d\n",
 			*dim, *layers, *heads, *hidden, *vocab, *maxSeq, *seed)
+	}
+
+	// Packed serving: adapters patch float32 weights in place, which packed
+	// layers no longer have, so the two flags are mutually exclusive.
+	var pm *nn.PackedModel
+	if *bitsSpec != "" {
+		if *adapters != "" {
+			return fmt.Errorf("serve: -bits is incompatible with -adapters: packed serving is base-model-only")
+		}
+		specs, desc, err := resolvePackSpecs(m, *bitsSpec)
+		if err != nil {
+			return err
+		}
+		wpool := tensor.NewPool()
+		nn.AdoptWeights(m, wpool)
+		if pm, err = nn.PackModel(m, specs, wpool); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serve: packed weights (%s): %s float32 released → %s resident\n",
+			desc, fmtB(pm.ReleasedBytes()), fmtB(pm.StorageBytes()))
 	}
 
 	rec := obsv.New()
@@ -163,6 +184,11 @@ func cmdServe(args []string) error {
 	pool := tensor.NewPool()
 	dec := nn.NewBatchDecoder(m, *slots, pool)
 	defer dec.Close()
+	if pm != nil {
+		if err := dec.SetPacked(pm); err != nil {
+			return fmt.Errorf("serve: SetPacked: %w", err)
+		}
+	}
 	srv := serve.NewServer(dec, cfg)
 
 	ln, err := net.Listen("tcp", *addr)

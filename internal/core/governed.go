@@ -74,6 +74,12 @@ func estimateTuning(cfg Config, pl govern.Plan, optElems int64) int64 {
 		bits = 32
 	}
 	weights += int64(float64(m.Layers) * float64(train.BlockWeightElems(m)) * bits / 8)
+	if bits < 32 {
+		// Compressed blocks are priced in the executable packed format
+		// (quant.Packed / Packed.StorageBytes): payload bits plus one
+		// float32 scale per output column of every block matrix.
+		weights += int64(m.Layers) * train.PackedBlockScaleBytes(m)
+	}
 
 	trainable := windowTrainableElems(m, pl.WindowSize)
 	grads := 4 * trainable

@@ -324,6 +324,10 @@ func (d *Decoder) SetAdapter(a *Adapter) error {
 			if err != nil {
 				return fmt.Errorf("nn: adapter %s: %w", a.name, err)
 			}
+			if len(lin.W.Data.Data) == 0 {
+				return fmt.Errorf("nn: adapter %s target %s: weight is packed (float32 data released); packed serving is base-model-only",
+					a.name, p.Target)
+			}
 			if !a.deltas[i].SameShape(lin.W.Data) {
 				return fmt.Errorf("nn: adapter %s target %s: delta shape %v does not match weight %v",
 					a.name, p.Target, a.deltas[i].Shape, lin.W.Data.Shape)

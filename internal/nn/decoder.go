@@ -54,6 +54,12 @@ type Decoder struct {
 	// weights plus pristine copies for bitwise-exact restore (adapter.go).
 	adapter      *Adapter
 	savedWeights []savedWeight
+
+	// Packed execution state (packed.go): when packed is non-nil, block
+	// matmuls whose layer is packed run through tensor.MatMulPackedInto
+	// with this decoder's tile-decode scratch.
+	packed   *PackedModel
+	pscratch *tensor.PackedScratch
 }
 
 // batchBuf pairs a pooled full-capacity backing tensor with a view header
@@ -243,24 +249,24 @@ func (d *Decoder) StepBatch(tokens, slots []int) ([][]float32, error) {
 		// Attention sub-block: h = norm1(x); q,k,v = h·W; cache k,v;
 		// per-slot causal attention over the slot's arena region.
 		d.rmsnormRows(B, hV.Data, blk.Norm1.Gain.Data.Data, blk.Norm1.Eps)
-		tensor.MatMulInto(qV, hV, blk.Attn.Wq.W.Data)
-		tensor.MatMulInto(kV, hV, blk.Attn.Wk.W.Data)
-		tensor.MatMulInto(vV, hV, blk.Attn.Wv.W.Data)
+		d.mm(qV, hV, blk.Attn.Wq.W.Data, l, wmWq)
+		d.mm(kV, hV, blk.Attn.Wk.W.Data, l, wmWk)
+		d.mm(vV, hV, blk.Attn.Wv.W.Data, l, wmWv)
 		for i, s := range slots {
 			p := d.arena.lens[s]
 			copy(d.arena.kRow(l, s, p), kV.Data[i*dim:(i+1)*dim])
 			copy(d.arena.vRow(l, s, p), vV.Data[i*dim:(i+1)*dim])
 		}
 		d.attendAll(l, B, slots, heads, hd, scale, qV.Data, ctxV.Data)
-		tensor.MatMulInto(attV, ctxV, blk.Attn.Wo.W.Data)
+		d.mm(attV, ctxV, blk.Attn.Wo.W.Data, l, wmWo)
 		addRows(d.x, attV.Data)
 
 		// MLP sub-block: x += down( SiLU(h2·gate) ⊙ (h2·up) ).
 		d.rmsnormRows(B, hV.Data, blk.Norm2.Gain.Data.Data, blk.Norm2.Eps)
-		tensor.MatMulInto(gateV, hV, blk.MLP.Gate.W.Data)
-		tensor.MatMulInto(upV, hV, blk.MLP.Up.W.Data)
+		d.mm(gateV, hV, blk.MLP.Gate.W.Data, l, wmGate)
+		d.mm(upV, hV, blk.MLP.Up.W.Data, l, wmUp)
 		siluMul(gateV.Data, upV.Data)
-		tensor.MatMulInto(mlpV, gateV, blk.MLP.Down.W.Data)
+		d.mm(mlpV, gateV, blk.MLP.Down.W.Data, l, wmDown)
 		addRows(d.x, mlpV.Data)
 	}
 

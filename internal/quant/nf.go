@@ -3,7 +3,6 @@ package quant
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"edgellm/internal/tensor"
 )
@@ -112,17 +111,7 @@ func (s NFScheme) FakeQuant(t *tensor.Tensor) *tensor.Tensor {
 
 // nearestCode binary-searches the sorted codebook for the closest entry.
 func nearestCode(v float32, codes []float32) float32 {
-	i := sort.Search(len(codes), func(i int) bool { return codes[i] >= v })
-	if i == 0 {
-		return codes[0]
-	}
-	if i == len(codes) {
-		return codes[len(codes)-1]
-	}
-	if v-codes[i-1] <= codes[i]-v {
-		return codes[i-1]
-	}
-	return codes[i]
+	return codes[nearestCodeIdx(v, codes)]
 }
 
 // Error returns the MSE introduced by NF fake-quantization.

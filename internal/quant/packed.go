@@ -9,9 +9,11 @@ import (
 
 // Packed is a real integer-packed representation of a symmetrically
 // quantized rank-2 tensor: sub-byte codes are bit-packed contiguously, with
-// one float32 scale per output channel. It exists to demonstrate (and test)
-// that the storage accounting used by the experiments corresponds to an
-// actual executable format, not just arithmetic on paper.
+// one float32 scale per output channel. It began as proof that the storage
+// accounting used by the experiments corresponds to an actual executable
+// format; since the fused kernels (tensor.MatMulPackedInto) it is also the
+// execution format — Packed implements tensor.PackedMat, so a matmul can
+// consume the bit stream directly with no float32 weight materialization.
 type Packed struct {
 	Bits  int
 	Rows  int
@@ -21,7 +23,10 @@ type Packed struct {
 }
 
 // Pack quantizes t (rank-2) symmetrically per channel at the given width
-// and packs the signed codes into a bit stream.
+// and packs the signed codes into a bit stream. The absMax scan and the
+// quantize-encode pass are both single row-major sweeps over t's storage
+// (the obvious per-column loop strides by Cols and thrashes the cache;
+// BenchmarkPack pins the difference).
 func Pack(t *tensor.Tensor, bits int) *Packed {
 	if bits < 2 || bits > 8 {
 		panic(fmt.Sprintf("quant: Pack bits %d out of [2,8]", bits))
@@ -33,27 +38,35 @@ func Pack(t *tensor.Tensor, bits int) *Packed {
 		Scale: make([]float32, cols),
 	}
 	qmax := float64(int(1)<<(bits-1)) - 1
-	for c := 0; c < cols; c++ {
-		var absMax float64
-		for r := 0; r < rows; r++ {
-			a := math.Abs(float64(t.At(r, c)))
-			if a > absMax {
-				absMax = a
+	absMax := make([]float32, cols)
+	for r := 0; r < rows; r++ {
+		row := t.Data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > absMax[c] {
+				absMax[c] = v
 			}
 		}
-		if absMax == 0 {
-			p.Scale[c] = 0
+	}
+	for c, a := range absMax {
+		if a == 0 {
 			continue
 		}
-		p.Scale[c] = float32(absMax / qmax)
+		p.Scale[c] = float32(float64(a) / qmax)
 	}
 	bit := 0
 	mask := byte((1 << bits) - 1)
 	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
+		row := t.Data[r*cols : (r+1)*cols]
+		for c, v := range row {
 			var q int
-			if p.Scale[c] != 0 {
-				q = int(math.Round(float64(t.At(r, c)) / float64(p.Scale[c])))
+			// Guard on the stored float32 scale, not absMax: a denormal
+			// column can have absMax > 0 yet underflow to scale 0, and
+			// dividing by that zero must not poison the codes.
+			if s := p.Scale[c]; s != 0 {
+				q = int(math.Round(float64(v) / float64(s)))
 				if q > int(qmax) {
 					q = int(qmax)
 				}
@@ -69,22 +82,80 @@ func Pack(t *tensor.Tensor, bits int) *Packed {
 	return p
 }
 
+// Dims implements tensor.PackedMat.
+func (p *Packed) Dims() (int, int) { return p.Rows, p.Cols }
+
+// DecodeRowsInto implements tensor.PackedMat: it dequantizes the tile
+// rows [rowLo,rowHi) × cols [colLo,colHi) into dst, row-major with stride
+// colHi-colLo, bitwise identical to the same elements of Unpack. bits=8
+// codes are bytes and bits=4 codes are nibbles, so those widths decode
+// without per-element bit arithmetic; other widths use the word-wise
+// extractor.
+func (p *Packed) DecodeRowsInto(dst []float32, rowLo, rowHi, colLo, colHi int) {
+	w := colHi - colLo
+	scale := p.Scale[colLo:colHi]
+	switch p.Bits {
+	case 8:
+		for r := rowLo; r < rowHi; r++ {
+			codes := p.Codes[r*p.Cols+colLo : r*p.Cols+colHi]
+			drow := dst[(r-rowLo)*w : (r-rowLo)*w+w]
+			for c, b := range codes {
+				drow[c] = float32(int8(b)) * scale[c]
+			}
+		}
+	case 4:
+		for r := rowLo; r < rowHi; r++ {
+			idx := r*p.Cols + colLo
+			drow := dst[(r-rowLo)*w : (r-rowLo)*w+w]
+			c := 0
+			if idx&1 == 1 { // leading element sits in a high nibble
+				drow[0] = float32(sext4(p.Codes[idx>>1]>>4)) * scale[0]
+				idx++
+				c++
+			}
+			for ; c+2 <= w; c += 2 {
+				b := p.Codes[idx>>1]
+				drow[c] = float32(sext4(b&0x0f)) * scale[c]
+				drow[c+1] = float32(sext4(b>>4)) * scale[c+1]
+				idx += 2
+			}
+			if c < w {
+				drow[c] = float32(sext4(p.Codes[idx>>1]&0x0f)) * scale[c]
+			}
+		}
+	default:
+		bits := p.Bits
+		signBit := byte(1 << (bits - 1))
+		off := int32(1) << bits
+		for r := rowLo; r < rowHi; r++ {
+			pos := (r*p.Cols + colLo) * bits
+			drow := dst[(r-rowLo)*w : (r-rowLo)*w+w]
+			for c := range drow {
+				code := readBits(p.Codes, pos, bits)
+				pos += bits
+				q := int32(code)
+				if code&signBit != 0 { // sign-extend
+					q -= off
+				}
+				drow[c] = float32(q) * scale[c]
+			}
+		}
+	}
+}
+
+// sext4 sign-extends a 4-bit two's-complement nibble.
+func sext4(code byte) int32 {
+	q := int32(code)
+	if code&0x8 != 0 {
+		q -= 16
+	}
+	return q
+}
+
 // Unpack reconstructs the dequantized tensor.
 func (p *Packed) Unpack() *tensor.Tensor {
 	out := tensor.New(p.Rows, p.Cols)
-	bit := 0
-	signBit := byte(1 << (p.Bits - 1))
-	for r := 0; r < p.Rows; r++ {
-		for c := 0; c < p.Cols; c++ {
-			code := readBits(p.Codes, bit, p.Bits)
-			bit += p.Bits
-			q := int(code)
-			if code&signBit != 0 { // sign-extend
-				q -= 1 << p.Bits
-			}
-			out.Set(r, c, float32(q)*p.Scale[c])
-		}
-	}
+	p.DecodeRowsInto(out.Data, 0, p.Rows, 0, p.Cols)
 	return out
 }
 
@@ -94,22 +165,38 @@ func (p *Packed) StorageBytes() int64 {
 	return int64(len(p.Codes)) + int64(len(p.Scale))*4
 }
 
-// writeBits stores the low `width` bits of code at bit offset `pos`.
+// PackedStorageBytes is the analytic size of a Packed artifact for a
+// (rows × cols) matrix at the given width, without materializing it:
+// bit-packed codes plus one float32 scale per column. It matches
+// Packed.StorageBytes exactly, which is what lets govern's admission
+// estimators price a bit budget in the executable format's real bytes.
+func PackedStorageBytes(rows, cols, bits int) int64 {
+	return int64((rows*cols*bits+7)/8) + int64(cols)*4
+}
+
+// writeBits stores the low `width` bits of code at bit offset `pos`
+// (LSB-first within each byte). width must be ≤ 8, so a code spans at
+// most two bytes; the straddling byte is written word-wise, not
+// bit-by-bit.
 func writeBits(buf []byte, pos, width int, code byte) {
-	for i := 0; i < width; i++ {
-		if code&(1<<i) != 0 {
-			buf[(pos+i)/8] |= 1 << ((pos + i) % 8)
-		}
+	v := uint32(code) & (1<<width - 1)
+	i := pos >> 3
+	shift := uint(pos & 7)
+	buf[i] |= byte(v << shift)
+	if int(shift)+width > 8 {
+		buf[i+1] |= byte(v >> (8 - shift))
 	}
 }
 
-// readBits extracts `width` bits starting at bit offset `pos`.
+// readBits extracts `width` ≤ 8 bits starting at bit offset `pos` with a
+// two-byte window read. When the code straddles a byte boundary more bits
+// follow it in the stream, so buf[i+1] is always in bounds.
 func readBits(buf []byte, pos, width int) byte {
-	var code byte
-	for i := 0; i < width; i++ {
-		if buf[(pos+i)/8]&(1<<((pos+i)%8)) != 0 {
-			code |= 1 << i
-		}
+	i := pos >> 3
+	shift := uint(pos & 7)
+	v := uint32(buf[i])
+	if int(shift)+width > 8 {
+		v |= uint32(buf[i+1]) << 8
 	}
-	return code
+	return byte(v>>shift) & byte(1<<width-1)
 }

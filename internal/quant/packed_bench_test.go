@@ -1,0 +1,45 @@
+package quant
+
+import (
+	"fmt"
+	"testing"
+
+	"edgellm/internal/tensor"
+)
+
+// BenchmarkPack measures pack throughput over the float32 input bytes for
+// the widths the LUC candidate grid uses. The row-major single-pass absmax
+// scan keeps this linear in the weight bytes; MB/s is recorded in the
+// artifact (never gated — machine-dependent) and allocs/op pins the two
+// expected allocations (codes + scales).
+func BenchmarkPack(b *testing.B) {
+	w := tensor.NewRNG(17).Normal(0, 1, 512, 512)
+	for _, bits := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("bits%d", bits), func(b *testing.B) {
+			b.SetBytes(int64(len(w.Data)) * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = Pack(w, bits)
+			}
+		})
+	}
+}
+
+// BenchmarkPackDecode measures the tile decoder alone — the per-tile cost
+// the fused matmul kernels pay — over the decoded float32 bytes.
+func BenchmarkPackDecode(b *testing.B) {
+	w := tensor.NewRNG(18).Normal(0, 1, 512, 512)
+	for _, bits := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("bits%d", bits), func(b *testing.B) {
+			p := Pack(w, bits)
+			dst := make([]float32, len(w.Data))
+			b.SetBytes(int64(len(w.Data)) * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.DecodeRowsInto(dst, 0, 512, 0, 512)
+			}
+		})
+	}
+}

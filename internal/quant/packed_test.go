@@ -1,0 +1,250 @@
+package quant
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgellm/internal/tensor"
+)
+
+func randWeights(rows, cols int, seed int64) *tensor.Tensor {
+	return tensor.NewRNG(seed).Normal(0, 0.5, rows, cols)
+}
+
+// refReadBits is the original bit-by-bit extractor, kept as the oracle
+// for the word-wise rewrite.
+func refReadBits(buf []byte, pos, width int) byte {
+	var code byte
+	for i := 0; i < width; i++ {
+		if buf[(pos+i)/8]&(1<<((pos+i)%8)) != 0 {
+			code |= 1 << i
+		}
+	}
+	return code
+}
+
+func TestWordWiseBitsMatchBitLoop(t *testing.T) {
+	for width := 2; width <= 8; width++ {
+		n := 101 // odd element count: the tail straddles arbitrarily
+		buf := make([]byte, (n*width+7)/8)
+		g := tensor.NewRNG(int64(width))
+		codes := make([]byte, n)
+		for i := range codes {
+			codes[i] = byte(g.Intn(1 << width))
+			writeBits(buf, i*width, width, codes[i])
+		}
+		for i, want := range codes {
+			if got := readBits(buf, i*width, width); got != want {
+				t.Fatalf("width %d element %d: readBits %x, want %x", width, i, got, want)
+			}
+			if got := refReadBits(buf, i*width, width); got != want {
+				t.Fatalf("width %d element %d: writeBits wrote %x per bit-loop oracle, want %x", width, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodeRowsIntoMatchesUnpack pins the tile decoder against Unpack,
+// bitwise, for every width and deliberately misaligned tiles (odd column
+// offsets hit the 4-bit high-nibble lead-in and the generic straddles).
+func TestDecodeRowsIntoMatchesUnpack(t *testing.T) {
+	w := randWeights(37, 53, 7)
+	type pm interface {
+		tensor.PackedMat
+		Unpack() *tensor.Tensor
+	}
+	variants := map[string]pm{}
+	for bits := 2; bits <= 8; bits++ {
+		variants[fmt.Sprintf("uniform%d", bits)] = Pack(w, bits)
+	}
+	variants["nf4"] = PackNF(w, NFScheme{Bits: 4, BlockSize: 16})
+	variants["nf2-whole"] = PackNF(w, NFScheme{Bits: 2})
+	tiles := [][4]int{
+		{0, 37, 0, 53}, // full matrix
+		{0, 1, 0, 1},
+		{3, 19, 5, 24}, // odd offsets both ways
+		{36, 37, 52, 53},
+		{10, 11, 1, 53}, // single row, odd start
+	}
+	for name, p := range variants {
+		full := p.Unpack()
+		for _, tile := range tiles {
+			rl, rh, cl, ch := tile[0], tile[1], tile[2], tile[3]
+			dst := make([]float32, (rh-rl)*(ch-cl))
+			for i := range dst {
+				dst[i] = float32(math.NaN()) // decode must overwrite every slot
+			}
+			p.DecodeRowsInto(dst, rl, rh, cl, ch)
+			for r := rl; r < rh; r++ {
+				for c := cl; c < ch; c++ {
+					got := dst[(r-rl)*(ch-cl)+(c-cl)]
+					want := full.At(r, c)
+					if math.Float32bits(got) != math.Float32bits(want) {
+						t.Fatalf("%s tile %v at (%d,%d): %v != %v", name, tile, r, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackDenormalColumn pins the scale-underflow guard: a column whose
+// absmax is a denormal can see its float32 scale underflow to 0 when
+// divided by qmax (bits ≥ 3). Codes must then come out zero — never a
+// division by the zero scale — and every decode stays bounded by the
+// column's absmax. A zero column always decodes to exactly 0.
+func TestPackDenormalColumn(t *testing.T) {
+	denorm := math.Float32frombits(1) // smallest positive denormal
+	w := tensor.New(4, 3)
+	for r := 0; r < 4; r++ {
+		w.Set(r, 0, float32(r)-1.5)
+		w.Set(r, 1, denorm)
+		w.Set(r, 2, 0)
+	}
+	for bits := 2; bits <= 8; bits++ {
+		p := Pack(w, bits)
+		u := p.Unpack()
+		for r := 0; r < 4; r++ {
+			if v := u.At(r, 1); math.IsNaN(float64(v)) || v < 0 || v > denorm {
+				t.Fatalf("bits %d: denormal column row %d decodes to %v, want within [0,%v]", bits, r, v, denorm)
+			}
+			if v := u.At(r, 2); v != 0 {
+				t.Fatalf("bits %d: zero column row %d decodes to %v, want 0", bits, r, v)
+			}
+		}
+		if u.At(0, 0) >= 0 || u.At(3, 0) <= 0 {
+			t.Fatalf("bits %d: healthy column lost its signs: %v, %v", bits, u.At(0, 0), u.At(3, 0))
+		}
+	}
+}
+
+// TestPackedNFMatchesFakeQuant pins the NF packed path against the
+// fake-quant reference value-wise (not bitwise: an all-zero block keeps
+// FakeQuant's original ±0 signs but decodes to +0).
+func TestPackedNFMatchesFakeQuant(t *testing.T) {
+	w := randWeights(24, 33, 11)
+	// One all-zero block to hit the zero-scale path.
+	for i := 0; i < 16; i++ {
+		w.Data[i] = 0
+	}
+	for _, s := range []NFScheme{{Bits: 4, BlockSize: 16}, {Bits: 3, BlockSize: 64}, {Bits: 2}} {
+		want := s.FakeQuant(w)
+		got := PackNF(w, s).Unpack()
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%v element %d: packed %v, fake-quant %v", s, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestPackedStorageBytesAnalytic(t *testing.T) {
+	for _, sh := range [][2]int{{64, 32}, {37, 53}, {1, 1}} {
+		w := randWeights(sh[0], sh[1], 3)
+		for bits := 2; bits <= 8; bits++ {
+			p := Pack(w, bits)
+			if got, want := p.StorageBytes(), PackedStorageBytes(sh[0], sh[1], bits); got != want {
+				t.Fatalf("(%d,%d)@%db: StorageBytes %d, analytic %d", sh[0], sh[1], bits, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedSerializationRoundTrip(t *testing.T) {
+	w := randWeights(19, 31, 5)
+	uni := Pack(w, 3)
+	nf := PackNF(w, NFScheme{Bits: 4, BlockSize: 16})
+
+	for name, p := range map[string]packedArtifact{"uniform": uni, "nf": nf} {
+		var buf bytes.Buffer
+		wrote, err := p.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("%s: WriteTo: %v", name, err)
+		}
+		if wrote != int64(buf.Len()) {
+			t.Fatalf("%s: WriteTo reported %d bytes, wrote %d", name, wrote, buf.Len())
+		}
+		m, n, err := ReadPackedFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadPackedFrom: %v", name, err)
+		}
+		if n != wrote {
+			t.Fatalf("%s: read %d bytes, wrote %d", name, n, wrote)
+		}
+		gotT := m.(interface{ Unpack() *tensor.Tensor }).Unpack()
+		wantT := p.Unpack()
+		for i := range wantT.Data {
+			if math.Float32bits(gotT.Data[i]) != math.Float32bits(wantT.Data[i]) {
+				t.Fatalf("%s: element %d differs after round trip", name, i)
+			}
+		}
+	}
+
+	// Typed ReadFrom dispatch.
+	var buf bytes.Buffer
+	if _, err := uni.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var p2 Packed
+	if _, err := p2.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Packed.ReadFrom: %v", err)
+	}
+	var nf2 PackedNF
+	if _, err := nf2.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("PackedNF.ReadFrom accepted a uniform artifact")
+	}
+}
+
+type packedArtifact interface {
+	io.WriterTo
+	Unpack() *tensor.Tensor
+}
+
+func TestPackedSerializationRejectsCorruption(t *testing.T) {
+	w := randWeights(9, 17, 6)
+	var buf bytes.Buffer
+	if _, err := Pack(w, 5).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	art := buf.Bytes()
+
+	// Every single-byte flip and every truncation must fail loudly.
+	for i := 0; i < len(art); i++ {
+		bad := append([]byte(nil), art...)
+		bad[i] ^= 0x40
+		if _, _, err := ReadPackedFrom(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at byte %d loaded cleanly", i)
+		}
+	}
+	for cut := 0; cut < len(art); cut += 7 {
+		if _, _, err := ReadPackedFrom(bytes.NewReader(art[:cut])); err == nil {
+			t.Fatalf("truncation at %d loaded cleanly", cut)
+		}
+	}
+}
+
+func TestWritePackedFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.packed")
+	p := Pack(randWeights(8, 8, 1), 4)
+	if err := WritePackedFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadPackedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := m.Dims(); r != 8 || c != 8 {
+		t.Fatalf("read dims (%d,%d)", r, c)
+	}
+	// No temp litter after a successful write.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("registry dir has %d entries, want 1", len(ents))
+	}
+}

@@ -72,6 +72,20 @@ func (p *Pool) Get(shape ...int) *Tensor {
 	return t
 }
 
+// Adopt registers an externally allocated tensor's bytes as handed out by
+// this pool, as if it had come from Get. It exists so long-lived memory
+// that was not pool-allocated — model weights, most importantly — can be
+// brought under the pool's BytesInUse accounting and later released with
+// Put: packing a model's weights Puts the adopted float32 buffers back,
+// making the live-bytes drop of a bit-budget directly observable in
+// Stats. Adopt on a nil pool or an empty tensor is a no-op.
+func (p *Pool) Adopt(t *Tensor) {
+	if p == nil || t == nil || len(t.Data) == 0 {
+		return
+	}
+	p.bytesInUse.Add(int64(len(t.Data)) * 4)
+}
+
 // Put parks t for reuse by a later Get of the same element count. The
 // caller must own t exclusively: no live tensor may alias t.Data. Put on a
 // nil pool or a nil tensor is a no-op.

@@ -72,6 +72,17 @@ func BlockActivationBytes(cfg nn.Config, batch, seq int) int64 {
 	return 4 * (rowDim + rowHidden + probs)
 }
 
+// PackedBlockScaleBytes is the per-block metadata overhead of the
+// executable packed weight format (quant.Packed): one float32 scale per
+// output column of each of the seven block matrices — wq/wk/wv/wo and
+// down project to Dim columns, gate and up to Hidden. Admission
+// estimators add it per compressed layer so the analytic weight bytes
+// match Packed.StorageBytes, the format governed runs actually hold
+// resident.
+func PackedBlockScaleBytes(cfg nn.Config) int64 {
+	return 4 * (5*int64(cfg.Dim) + 2*int64(cfg.Hidden))
+}
+
 // EstimateMemory computes the analytic per-iteration footprint for spec.
 func EstimateMemory(spec MemorySpec) MemoryBreakdown {
 	cfg := spec.Cfg
