@@ -11,6 +11,9 @@
 //	serve        multi-tenant HTTP inference server with admission control,
 //	             deadlines, graceful drain, request tracing, SLO burn-rate
 //	             tracking, a JSONL access log, and a chaos fault seam
+//	fleet        deterministic fleet-scale simulation: heterogeneous virtual
+//	             devices adapting under churn, crashes, stalls, and budget
+//	             pressure (-devices -churn -fault -seed -json -verify)
 //	telemetry    summarise or diff JSONL metric files from -metrics runs;
 //	             serve-report analyses a serving access log
 //
@@ -62,6 +65,8 @@ func main() {
 		err = cmdDecodeBench(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "telemetry":
 		err = cmdTelemetry(os.Args[2:])
 	case "-h", "--help", "help":
@@ -90,6 +95,8 @@ subcommands:
   decode-bench  continuous-batching decode throughput + verification (-streams -slots -fault)
   serve         multi-tenant HTTP inference server (admission control, deadlines, drain,
                 -fault chaos, -trace timelines, -slo burn rates, -access-log JSONL)
+  fleet         deterministic fleet simulation of churning, faulty edge devices
+                (-devices -seed -churn -fault -parallel -json -events -verify)
   telemetry     summarise one JSONL metrics file, diff two (A-vs-B regression delta),
                 or analyse a serving access log (serve-report [-slo] [-strict])`)
 }

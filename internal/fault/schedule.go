@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ScheduledFault is one planned injection: at step Step, fail with Mode.
+type ScheduledFault struct {
+	Step int
+	Mode Mode
+}
+
+// Schedule is a deterministic composed fault plan for one entity (a fleet
+// device, a soak worker): a seeded map from step index to injected Mode,
+// each entry firing at most once. It composes the injector's failure
+// vocabulary — crash (ModePanic), stall, transient (ModeFlaky), cancel —
+// into a per-step timeline instead of the Injector's per-id mapping.
+//
+// The plan is fixed at construction from the seed alone, so any number of
+// goroutines consulting it concurrently (At) or claiming entries (Fire)
+// observe the same plan; Fire's at-most-once claim is the only mutable
+// state and is mutex-guarded, keeping the schedule race-free under
+// concurrent drivers.
+type Schedule struct {
+	mu    sync.Mutex
+	modes map[int]Mode
+	fired map[int]bool
+}
+
+// PlanSchedule derives a composed fault schedule from seed: each of the
+// `steps` steps independently draws, with probability rate, one of the
+// given kinds (uniformly). Same seed, steps, rate, and kinds → the same
+// plan, on every run and at any GOMAXPROCS. A rate ≤ 0, empty kinds, or
+// steps ≤ 0 yields an empty (but usable) schedule.
+func PlanSchedule(seed int64, steps int, rate float64, kinds []Mode) *Schedule {
+	s := &Schedule{modes: map[int]Mode{}, fired: map[int]bool{}}
+	if steps <= 0 || rate <= 0 || len(kinds) == 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for step := 0; step < steps; step++ {
+		// Draw both variates unconditionally so the plan at step i does not
+		// depend on whether earlier steps were injected.
+		u := rng.Float64()
+		k := rng.Intn(len(kinds))
+		if u < rate {
+			s.modes[step] = kinds[k]
+		}
+	}
+	return s
+}
+
+// At returns the mode planned for step ("" when none), whether or not it
+// has fired. Safe for concurrent use; the plan is immutable.
+func (s *Schedule) At(step int) Mode {
+	if s == nil {
+		return ""
+	}
+	return s.modes[step]
+}
+
+// Fire claims the injection planned at step: the first call returns its
+// mode, every later call (from any goroutine) returns "". A step with no
+// planned injection always returns "".
+func (s *Schedule) Fire(step int) Mode {
+	if s == nil {
+		return ""
+	}
+	m, ok := s.modes[step]
+	if !ok {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fired[step] {
+		return ""
+	}
+	s.fired[step] = true
+	return m
+}
+
+// Len returns the number of planned injections.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.modes)
+}
+
+// Events returns the planned injections sorted by step.
+func (s *Schedule) Events() []ScheduledFault {
+	if s == nil {
+		return nil
+	}
+	out := make([]ScheduledFault, 0, len(s.modes))
+	for step, m := range s.modes {
+		out = append(out, ScheduledFault{Step: step, Mode: m})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// Describe renders the plan for logs, e.g. "panic@3, stall@7, cancel@11".
+func (s *Schedule) Describe() string {
+	evs := s.Events()
+	if len(evs) == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for i, e := range evs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s@%d", e.Mode, e.Step)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// composedKinds is the fleet's crash + stall + cancel composition.
+var composedKinds = []Mode{ModePanic, ModeStall, ModeCancel}
+
+// TestPlanScheduleDeterministic proves the composed plan is a pure function
+// of its seed: rebuilding it yields identical events, and a different seed
+// yields a different plan (with overwhelming probability at this size).
+func TestPlanScheduleDeterministic(t *testing.T) {
+	a := PlanSchedule(7, 200, 0.3, composedKinds)
+	b := PlanSchedule(7, 200, 0.3, composedKinds)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a.Len() == 0 {
+		t.Fatal("rate 0.3 over 200 steps planned no injections")
+	}
+	c := PlanSchedule(8, 200, 0.3, composedKinds)
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// All three composed kinds should appear at this size.
+	seen := map[Mode]bool{}
+	for _, e := range a.Events() {
+		seen[e.Mode] = true
+	}
+	for _, k := range composedKinds {
+		if !seen[k] {
+			t.Fatalf("kind %s never planned in 200 steps at rate 0.3", k)
+		}
+	}
+}
+
+// TestPlanScheduleRatePrefixStable: the plan at step i must not depend on
+// whether earlier steps happened to be injected, so schedules with the same
+// seed but different rates agree wherever the lower-rate plan fires.
+func TestPlanScheduleRatePrefixStable(t *testing.T) {
+	lo := PlanSchedule(42, 300, 0.1, composedKinds)
+	hi := PlanSchedule(42, 300, 0.5, composedKinds)
+	for _, e := range lo.Events() {
+		if got := hi.At(e.Step); got != e.Mode {
+			t.Fatalf("step %d: rate 0.1 plans %s but rate 0.5 plans %s", e.Step, e.Mode, got)
+		}
+	}
+}
+
+// TestScheduleCompositionDeterministicConcurrent is the injector-composition
+// race test: one seeded schedule of crash + stall + cancel events consulted
+// and claimed by many goroutines must (a) report the same plan to every
+// reader, (b) hand each planned event to exactly one claimant, and (c) do
+// so identically at GOMAXPROCS 1 and N. Run with -race.
+func TestScheduleCompositionDeterministicConcurrent(t *testing.T) {
+	const steps = 120
+	reference := PlanSchedule(99, steps, 0.4, composedKinds).Events()
+	refAt := map[int]Mode{}
+	for _, e := range reference {
+		refAt[e.Step] = e.Mode
+	}
+
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		s := PlanSchedule(99, steps, 0.4, composedKinds)
+
+		const workers = 8
+		claims := make([]map[int]Mode, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			claims[w] = map[int]Mode{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for step := 0; step < steps; step++ {
+					// Every reader sees the reference plan...
+					if m := s.At(step); m != refAt[step] {
+						t.Errorf("At(%d) = %q, want %q", step, m, refAt[step])
+					}
+					// ...but each event is claimed exactly once.
+					if m := s.Fire(step); m != "" {
+						claims[w][step] = m
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		runtime.GOMAXPROCS(prev)
+
+		merged := map[int]Mode{}
+		for w := 0; w < workers; w++ {
+			for step, m := range claims[w] {
+				if _, dup := merged[step]; dup {
+					t.Fatalf("GOMAXPROCS %d: step %d fired twice", procs, step)
+				}
+				merged[step] = m
+			}
+		}
+		if len(merged) != len(reference) {
+			t.Fatalf("GOMAXPROCS %d: %d events fired, want %d", procs, len(merged), len(reference))
+		}
+		for _, e := range reference {
+			if merged[e.Step] != e.Mode {
+				t.Fatalf("GOMAXPROCS %d: step %d fired %s, want %s", procs, e.Step, merged[e.Step], e.Mode)
+			}
+		}
+	}
+}
+
+// TestScheduleWithInjectorModes: a Schedule composed over an Injector's
+// mode vocabulary stays consistent with the injector's own concurrent-read
+// guarantees — ModeFor from many goroutines returns stable answers while a
+// schedule built from the same ids fires.
+func TestScheduleWithInjectorModes(t *testing.T) {
+	inj, err := ParseSpec("panic=D1,stall=D2,cancel=D3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := PlanSchedule(5, 50, 0.5, []Mode{inj.ModeFor("D1"), inj.ModeFor("D2"), inj.ModeFor("D3")})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for step := 0; step < 50; step++ {
+				switch s.At(step) {
+				case "", ModePanic, ModeStall, ModeCancel:
+				default:
+					t.Errorf("step %d: unexpected mode %q", step, s.At(step))
+				}
+				if inj.ModeFor("D2") != ModeStall {
+					t.Error("injector mode drifted under concurrent reads")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var nilSched *Schedule
+	if nilSched.At(0) != "" || nilSched.Fire(0) != "" || nilSched.Len() != 0 {
+		t.Fatal("nil schedule must be inert")
+	}
+}

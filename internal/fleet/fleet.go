@@ -1,0 +1,340 @@
+// Package fleet simulates a fleet of heterogeneous edge devices
+// concurrently running Edge-LLM adaptation under churn and injected chaos.
+// It composes the repo's substrate — hwsim's device catalog (per-class
+// analytic cost models), govern's budgets + degradation ladder + stall
+// watchdog, fault's composed injection schedules, train's crash-safe
+// snapshot machinery, and the tensor pool — into the deployment scenario
+// the edge surveys call out: devices differ wildly and fail constantly,
+// yet the fleet keeps making progress.
+//
+// Every device is fully independent: its own scaled hardware spec, its own
+// memory budget (walked down the degradation ladder by a per-device
+// governor, never aborted), its own training/model/fault RNG streams
+// derived from the fleet seed and device index, its own in-memory
+// checkpoint. Devices therefore parallelise embarrassingly, and the fleet
+// report is byte-identical at any GOMAXPROCS and any worker count.
+//
+// Time is virtual. Each executed training step advances the device's
+// virtual clock by the hwsim-modeled iteration latency of its (possibly
+// degraded) plan on its (per-unit perturbed) hardware; crashes, stall
+// kills, retries, and churn gaps add fixed virtual penalties. Wall-clock
+// never enters the report, so two runs with the same seed produce the same
+// bytes no matter how the host machine schedules them.
+//
+// Chaos is invariant: a crash restores the device from its last epoch
+// snapshot and replays the lost steps bit-identically; a stall is killed
+// by a govern.Watchdog and restored the same way; a transient fault is
+// retried in place with the suite runner's deterministic backoff; churn
+// (leave + rejoin) round-trips the device through its snapshot. A device
+// that survives chaos therefore finishes with exactly the weights and loss
+// of an uninterrupted solo run — RunDevice with a Solo() spec verifies it.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/fault"
+	"edgellm/internal/hwsim"
+	"edgellm/internal/nn"
+	"edgellm/internal/obsv"
+)
+
+// Config sizes and seeds one fleet simulation.
+type Config struct {
+	// Devices is the fleet size.
+	Devices int
+	// Seed derives every per-device stream (spec, training, faults, churn).
+	Seed int64
+	// Steps is the adaptation-step budget per device (default 24).
+	Steps int
+	// EpochSteps is the snapshot + pool-trim + re-admission cadence
+	// (default 8). Crash restores lose at most EpochSteps-1 steps.
+	EpochSteps int
+	// Churn in [0,1] is the probability that a device leaves mid-run and
+	// rejoins after a virtual gap (0 disables churn).
+	Churn float64
+	// FaultRate in [0,1] scales injected chaos: each device plans
+	// ~3·FaultRate composed crash/stall/transient/cancel events across its
+	// run (0 disables injection).
+	FaultRate float64
+	// Parallel bounds the device worker pool; ≤ 0 means GOMAXPROCS.
+	// Results are identical at any value.
+	Parallel int
+	// StallTimeout is the real-time heartbeat bound the per-device
+	// watchdog uses to kill an injected stall (default 2s). It is armed
+	// only for the exact step a stall is scheduled on, so it can never
+	// fire spuriously and the report stays byte-identical regardless of
+	// host scheduling. The virtual cost of a stall kill is the fixed
+	// stallKillSec, not this wall-clock knob.
+	StallTimeout time.Duration
+	// KeepEvents retains every device's virtual-time event log in the
+	// report (merged and deterministically ordered).
+	KeepEvents bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Devices <= 0 {
+		c.Devices = 16
+	}
+	if c.Steps <= 0 {
+		c.Steps = 24
+	}
+	if c.EpochSteps <= 0 {
+		c.EpochSteps = 8
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Virtual-clock penalties, in simulated seconds. Fixed constants keep the
+// report independent of wall-clock behaviour (how long a watchdog really
+// took to fire) while still charging chaos a realistic price.
+const (
+	// crashRestartSec models reboot + snapshot reload after a crash.
+	crashRestartSec = 10.0
+	// stallKillSec models the watchdog deadline a hung step burns before
+	// being killed, plus the restore.
+	stallKillSec = 30.0
+	// cancelAbortSec models an externally cancelled segment: no reboot,
+	// just the restore.
+	cancelAbortSec = 2.0
+)
+
+// DeviceSpec is one virtual device's deterministic identity: everything
+// the simulator needs to run it, derived purely from (fleet seed, index).
+type DeviceSpec struct {
+	// ID labels the device ("dev-0007"); Index is its fleet slot.
+	ID    string
+	Index int
+	// Class is the hwsim catalog entry the device was drawn from; Device
+	// is that entry with per-unit compute/bandwidth perturbation applied.
+	Class  string
+	Device hwsim.Device
+	// BudgetBytes is the device's hard memory envelope, enforced by its
+	// governor via the degradation ladder.
+	BudgetBytes int64
+	// TrainSeed derives the device's model-init, corpus, and
+	// batch-sampling RNG streams.
+	TrainSeed int64
+	// JoinSec is the virtual time the device joins the fleet.
+	JoinSec float64
+	// Faults is the device's composed injection schedule (nil = none).
+	Faults *fault.Schedule
+	// LeaveEpoch, when > 0, makes the device leave the fleet at the end
+	// of that epoch (1-based) and rejoin GapSec of virtual time later,
+	// resuming from its snapshot.
+	LeaveEpoch int
+	GapSec     float64
+}
+
+// Solo returns the spec with all chaos removed — no fault schedule, no
+// churn — for verifying that a device's chaos-run result is byte-identical
+// to its uninterrupted run.
+func (s DeviceSpec) Solo() DeviceSpec {
+	s.Faults = nil
+	s.LeaveEpoch = 0
+	s.GapSec = 0
+	return s
+}
+
+// splitmix64 is the per-device stream splitter: a tiny, well-mixed PRF
+// from (seed, index, stream) to a derived seed, so the spec draw, the
+// fault plan, and the training streams of one device never alias each
+// other or another device's.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// deriveSeed mixes the fleet seed, device index, and stream id.
+func deriveSeed(fleetSeed int64, index int, stream uint64) int64 {
+	x := splitmix64(uint64(fleetSeed) ^ splitmix64(uint64(index)+1))
+	return int64(splitmix64(x ^ splitmix64(stream+0x1000)))
+}
+
+// Per-device stream ids.
+const (
+	streamSpec  = 1 // class, perturbation, budget, join, churn draws
+	streamFault = 2 // composed fault schedule
+	streamTrain = 3 // model init, corpus, batch sampling
+)
+
+// classBudgetFrac is each catalog class's memory budget as a fraction of
+// the analytic footprint of the undegraded plan. The weak class must walk
+// several rungs, the mid class degrades mildly, the strong class runs
+// undegraded — so the rung histogram separates by class in the report.
+var classBudgetFrac = map[string]float64{
+	"edge-nano-0.5t25g": 0.55,
+	"edge-gpu-1t60g":    0.80,
+	"edge-orin-5t200g":  2.0,
+}
+
+// pathologicalFrac is the budget fraction of the occasional device whose
+// envelope cannot be met even at the ladder floor: the simulator proves
+// the fleet proceeds-at-floor instead of aborting, and the report counts
+// it in the budget-unmet rate.
+const pathologicalFrac = 0.05
+
+// Specs derives the full device roster for a config. It is a pure function
+// of the config, so callers (tests, the -verify path) can re-derive any
+// device's identity without running the fleet.
+func Specs(cfg Config) []DeviceSpec {
+	cfg = cfg.withDefaults()
+	catalog := hwsim.DeviceCatalog()
+	fullEst := planEstimator(0)(basePlan())
+	specs := make([]DeviceSpec, cfg.Devices)
+	for i := range specs {
+		r := rand.New(rand.NewSource(deriveSeed(cfg.Seed, i, streamSpec)))
+		class := catalog[r.Intn(len(catalog))]
+		// Per-unit silicon/thermal variation: ±15% on compute and memory.
+		dev := class.Scaled(0.85+0.30*r.Float64(), 0.85+0.30*r.Float64())
+		frac := classBudgetFrac[class.Name]
+		if frac == 0 {
+			frac = 1.0
+		}
+		if r.Float64() < 0.08 {
+			frac = pathologicalFrac
+		}
+		join := 30 * r.Float64()
+		leaveEpoch, gap := 0, 0.0
+		if cfg.Churn > 0 && r.Float64() < cfg.Churn {
+			maxEpoch := (cfg.Steps + cfg.EpochSteps - 1) / cfg.EpochSteps
+			leaveEpoch = 1 + r.Intn(maxEpoch)
+			gap = 30 + 270*r.Float64()
+		}
+		var sched *fault.Schedule
+		if cfg.FaultRate > 0 {
+			perStep := 3 * cfg.FaultRate / float64(cfg.Steps)
+			sched = fault.PlanSchedule(deriveSeed(cfg.Seed, i, streamFault), cfg.Steps, perStep,
+				[]fault.Mode{fault.ModePanic, fault.ModeStall, fault.ModeFlaky, fault.ModeCancel})
+		}
+		specs[i] = DeviceSpec{
+			ID:          fmt.Sprintf("dev-%04d", i),
+			Index:       i,
+			Class:       class.Name,
+			Device:      dev,
+			BudgetBytes: int64(frac * float64(fullEst)),
+			TrainSeed:   deriveSeed(cfg.Seed, i, streamTrain),
+			JoinSec:     join,
+			Faults:      sched,
+			LeaveEpoch:  leaveEpoch,
+			GapSec:      gap,
+		}
+	}
+	return specs
+}
+
+// deviceModelConfig is the tiny per-device model: large enough that the
+// window/recompute/batch rungs all change real work, small enough that a
+// CI soak runs hundreds of devices.
+func deviceModelConfig() nn.Config {
+	return nn.Config{Vocab: 16, Dim: 16, Heads: 2, Layers: 4, Hidden: 32, MaxSeq: 16, ExitHeads: true}
+}
+
+const deviceSeq = 8
+
+// Run simulates the fleet and returns its report. Cancellation (SIGTERM
+// drain, deadline) stops every device at its next step boundary; drained
+// devices appear in the report as such, completed devices keep their
+// results, and the context error is returned alongside the partial report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	specs := Specs(cfg)
+	results := make([]*DeviceResult, len(specs))
+
+	var active int64
+	var mu sync.Mutex
+	setActive := func(delta int64) {
+		mu.Lock()
+		active += delta
+		obsv.SetGauge("fleet.active_devices", float64(active))
+		mu.Unlock()
+	}
+
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := range specs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			setActive(1)
+			defer setActive(-1)
+			results[i] = RunDevice(ctx, cfg, specs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	rep := buildReport(cfg, results)
+	emitFleetTelemetry(rep)
+	return rep, ctx.Err()
+}
+
+// emitFleetTelemetry mirrors the report totals to fleet.* counters.
+func emitFleetTelemetry(rep *Report) {
+	obsv.Add("fleet.devices", int64(rep.Devices))
+	obsv.Add("fleet.converged", int64(rep.Converged))
+	obsv.Add("fleet.drained", int64(rep.Drained))
+	obsv.Add("fleet.failed", int64(rep.Failed))
+	obsv.Add("fleet.crashes", int64(rep.Totals.Crashes))
+	obsv.Add("fleet.restarts", int64(rep.Totals.Restarts))
+	obsv.Add("fleet.stalls_killed", int64(rep.Totals.StallsKilled))
+	obsv.Add("fleet.retries", int64(rep.Totals.Retries))
+	obsv.Add("fleet.cancels", int64(rep.Totals.Cancels))
+	obsv.Add("fleet.leaves", int64(rep.Totals.Leaves))
+	obsv.Add("fleet.rejoins", int64(rep.Totals.Rejoins))
+	obsv.Add("fleet.budget_unmet", int64(rep.BudgetUnmet))
+	for rung, n := range rep.RungCounts {
+		obsv.Add("fleet.degradations", int64(n), obsv.L("rung", rung))
+	}
+	for _, r := range rep.DeviceResults {
+		if r.Converged {
+			obsv.Observe("fleet.converge_virtual_sec", r.ConvergeSec)
+		}
+	}
+}
+
+// FleetRecord converts the report into the obsv metrics-stream record.
+func (r *Report) FleetRecord() obsv.FleetRecord {
+	return obsv.FleetRecord{
+		Devices:        r.Devices,
+		Seed:           r.Seed,
+		Churn:          r.Churn,
+		FaultRate:      r.FaultRate,
+		Converged:      r.Converged,
+		Drained:        r.Drained,
+		Failed:         r.Failed,
+		Crashes:        r.Totals.Crashes,
+		Restarts:       r.Totals.Restarts,
+		StallsKilled:   r.Totals.StallsKilled,
+		Retries:        r.Totals.Retries,
+		Cancels:        r.Totals.Cancels,
+		Leaves:         r.Totals.Leaves,
+		Rejoins:        r.Totals.Rejoins,
+		BudgetUnmet:    r.BudgetUnmet,
+		RungCounts:     r.RungCounts,
+		P50ConvergeSec: r.P50ConvergeSec,
+		P99ConvergeSec: r.P99ConvergeSec,
+	}
+}
+
+// PoolInUseBytes reports the autograd arena's live bytes — the quantity
+// the drain proof asserts is zero once every device has released its
+// buffers. Nil-safe when no pool is installed.
+func PoolInUseBytes() int64 {
+	return ag.ActivePool().Stats().BytesInUse
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	ag "edgellm/internal/autograd"
+	"edgellm/internal/tensor"
+)
+
+// chaosCfg is the reference simulation the tests exercise: small enough to
+// run in CI, chaotic enough that every fault kind, churn, and the budget
+// ladder all fire.
+func chaosCfg() Config {
+	return Config{
+		Devices:      8,
+		Seed:         7,
+		Steps:        12,
+		EpochSteps:   4,
+		Churn:        0.5,
+		FaultRate:    0.8,
+		StallTimeout: 150 * time.Millisecond,
+		KeepEvents:   true,
+	}
+}
+
+func runJSON(t *testing.T, cfg Config) ([]byte, *Report) {
+	t.Helper()
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("fleet.Run: %v", err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return b, rep
+}
+
+// The fleet report must be byte-identical at any worker count and any
+// GOMAXPROCS — the tentpole determinism guarantee. The test also pins the
+// rendered text and asserts the run was genuinely chaotic, so a regression
+// that silently disables injection cannot pass vacuously.
+func TestFleetDeterministicAcrossParallelism(t *testing.T) {
+	cfg := chaosCfg()
+
+	cfg.Parallel = 1
+	prev := runtime.GOMAXPROCS(1)
+	serialJSON, serial := runJSON(t, cfg)
+	serialText := serial.String()
+	runtime.GOMAXPROCS(prev)
+
+	cfg.Parallel = 8
+	parallelJSON, parallel := runJSON(t, cfg)
+
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Fatalf("report differs between Parallel=1/GOMAXPROCS=1 and Parallel=8:\n%s\n--- vs ---\n%s",
+			serialJSON, parallelJSON)
+	}
+	if got := parallel.String(); got != serialText {
+		t.Fatalf("rendered report differs:\n%s\n--- vs ---\n%s", serialText, got)
+	}
+
+	if serial.Converged == 0 {
+		t.Fatal("no device converged")
+	}
+	tot := serial.Totals
+	if tot.Crashes == 0 || tot.StallsKilled == 0 || tot.Retries == 0 {
+		t.Fatalf("chaos did not fire (totals %+v) — the determinism check is vacuous", tot)
+	}
+	if tot.Leaves == 0 || tot.Rejoins != tot.Leaves {
+		t.Fatalf("churn did not fire or did not rejoin (leaves %d, rejoins %d)", tot.Leaves, tot.Rejoins)
+	}
+	if serial.BudgetUnmet == 0 && len(serial.RungCounts) == 0 {
+		t.Fatal("no governor activity at all — budgets are not binding")
+	}
+	if len(serial.Events) == 0 {
+		t.Fatal("KeepEvents produced no merged timeline")
+	}
+}
+
+// Chaos invariance: every device that survives crashes, stall kills,
+// retries, cancels, and churn must finish with exactly the weights and loss
+// of its uninterrupted solo run.
+func TestChaosSurvivorsMatchSolo(t *testing.T) {
+	cfg := chaosCfg()
+	_, rep := runJSON(t, cfg)
+	specs := Specs(cfg)
+
+	chaotic := 0
+	for _, r := range rep.DeviceResults {
+		if !r.Converged {
+			continue
+		}
+		hadChaos := r.Crashes+r.StallsKilled+r.Retries+r.Cancels+r.Leaves > 0
+		if hadChaos {
+			chaotic++
+		}
+		solo := RunDevice(context.Background(), cfg, specs[r.Index].Solo())
+		if !solo.Converged {
+			t.Fatalf("%s: solo run did not converge: %s", r.ID, solo.Err)
+		}
+		if solo.Fingerprint != r.Fingerprint || solo.FinalLoss != r.FinalLoss {
+			t.Errorf("%s: chaos run (crashes %d stalls %d retries %d cancels %d leaves %d) diverged from solo:\n"+
+				"  chaos: fp %s loss %v\n  solo:  fp %s loss %v",
+				r.ID, r.Crashes, r.StallsKilled, r.Retries, r.Cancels, r.Leaves,
+				r.Fingerprint, r.FinalLoss, solo.Fingerprint, solo.FinalLoss)
+		}
+		if hadChaos {
+			if r.ExecSteps < solo.ExecSteps {
+				t.Errorf("%s: chaos run executed fewer steps (%d) than solo (%d)", r.ID, r.ExecSteps, solo.ExecSteps)
+			}
+			if r.ConvergeSec <= solo.ConvergeSec {
+				t.Errorf("%s: chaos virtual time %.2fs not above solo %.2fs despite penalties",
+					r.ID, r.ConvergeSec, solo.ConvergeSec)
+			}
+		}
+	}
+	if chaotic == 0 {
+		t.Fatal("no converged device experienced chaos — the invariance check is vacuous")
+	}
+}
+
+// A full run and a mid-run drain must both hand every pooled byte back to
+// the arena — the SIGTERM drain proof `edgellm fleet` prints.
+func TestFleetReleasesPool(t *testing.T) {
+	old := ag.ActivePool()
+	ag.SetPool(tensor.NewPool())
+	defer ag.SetPool(old)
+
+	cfg := chaosCfg()
+	_, rep := runJSON(t, cfg)
+	if n := PoolInUseBytes(); n != 0 {
+		t.Fatalf("pool holds %d bytes after full run", n)
+	}
+	var trims int
+	for _, r := range rep.DeviceResults {
+		trims += r.Trims
+	}
+	if trims == 0 {
+		t.Fatal("no epoch-boundary pool trims happened")
+	}
+
+	// Mid-run drain: cancel while devices are training.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	drainRep, err := Run(ctx, cfg)
+	if err == nil {
+		t.Log("drain run finished before cancellation; pool check still applies")
+	}
+	if got := drainRep.Converged + drainRep.Drained + drainRep.Failed; got != cfg.Devices {
+		t.Fatalf("drained report accounts for %d of %d devices", got, cfg.Devices)
+	}
+	if n := PoolInUseBytes(); n != 0 {
+		t.Fatalf("pool holds %d bytes after drain", n)
+	}
+
+	// A pre-cancelled context drains every device deterministically.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	preRep, _ := Run(pre, cfg)
+	if preRep.Drained != cfg.Devices {
+		t.Fatalf("pre-cancelled run drained %d of %d devices", preRep.Drained, cfg.Devices)
+	}
+	if n := PoolInUseBytes(); n != 0 {
+		t.Fatalf("pool holds %d bytes after pre-cancelled run", n)
+	}
+}
+
+// Specs is a pure function of the config, and its churn/fault knobs gate
+// the respective schedule fields.
+func TestSpecsDeterministicAndGated(t *testing.T) {
+	cfg := chaosCfg()
+	a, b := Specs(cfg), Specs(cfg)
+	if len(a) != cfg.Devices || len(b) != cfg.Devices {
+		t.Fatalf("Specs returned %d/%d devices, want %d", len(a), len(b), cfg.Devices)
+	}
+	churned, faulted := 0, 0
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Class != b[i].Class || a[i].BudgetBytes != b[i].BudgetBytes ||
+			a[i].TrainSeed != b[i].TrainSeed || a[i].JoinSec != b[i].JoinSec ||
+			a[i].LeaveEpoch != b[i].LeaveEpoch || a[i].GapSec != b[i].GapSec ||
+			a[i].Faults.Describe() != b[i].Faults.Describe() {
+			t.Fatalf("device %d differs across identical Specs calls:\n%+v\n%+v", i, a[i], b[i])
+		}
+		if a[i].Device.PeakFLOPS <= 0 || a[i].Device.DRAMBandwidth <= 0 {
+			t.Fatalf("device %d has implausible perturbed hardware: %+v", i, a[i].Device)
+		}
+		if a[i].LeaveEpoch > 0 {
+			churned++
+			if a[i].GapSec <= 0 {
+				t.Fatalf("device %d leaves at epoch %d with no gap", i, a[i].LeaveEpoch)
+			}
+		}
+		if a[i].Faults.Len() > 0 {
+			faulted++
+		}
+	}
+	if churned == 0 || faulted == 0 {
+		t.Fatalf("chaos knobs inert: %d churned, %d faulted devices", churned, faulted)
+	}
+
+	quiet := cfg
+	quiet.Churn, quiet.FaultRate = 0, 0
+	for i, s := range Specs(quiet) {
+		if s.LeaveEpoch != 0 || s.GapSec != 0 {
+			t.Fatalf("device %d churns with Churn=0: %+v", i, s)
+		}
+		if s.Faults.Len() != 0 {
+			t.Fatalf("device %d has faults with FaultRate=0", i)
+		}
+	}
+}
+
+// A Solo spec strips every chaos field but keeps the identity.
+func TestSoloStripsChaos(t *testing.T) {
+	cfg := chaosCfg()
+	for _, s := range Specs(cfg) {
+		solo := s.Solo()
+		if solo.Faults != nil || solo.LeaveEpoch != 0 || solo.GapSec != 0 {
+			t.Fatalf("Solo left chaos on %s: %+v", s.ID, solo)
+		}
+		if solo.ID != s.ID || solo.TrainSeed != s.TrainSeed || solo.BudgetBytes != s.BudgetBytes {
+			t.Fatalf("Solo changed identity of %s", s.ID)
+		}
+	}
+}

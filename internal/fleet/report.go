@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"edgellm/internal/govern"
+)
+
+// Event is one entry of a device's virtual-time log: joins, epochs, chaos,
+// recoveries, and the terminal outcome, stamped with the device's virtual
+// clock. The merged fleet timeline orders events by (TSec, Device, Seq),
+// which is deterministic because every component is.
+type Event struct {
+	TSec   float64 `json:"t_sec"`
+	Device string  `json:"device"`
+	Seq    int     `json:"seq"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// DeviceResult is one device's row of the fleet report.
+type DeviceResult struct {
+	ID          string `json:"id"`
+	Index       int    `json:"index"`
+	Class       string `json:"class"`
+	BudgetBytes int64  `json:"budget_bytes"`
+
+	Converged bool   `json:"converged"`
+	Drained   bool   `json:"drained,omitempty"`
+	Failed    bool   `json:"failed,omitempty"`
+	Err       string `json:"err,omitempty"`
+
+	// Steps is the completed loop position; ExecSteps counts executed
+	// iterations including crash replays (ExecSteps ≥ Steps under chaos).
+	Steps     int `json:"steps"`
+	ExecSteps int `json:"exec_steps"`
+
+	// ConvergeSec is the virtual time at completion of the step budget
+	// (join offset + per-step hardware prices + chaos penalties).
+	ConvergeSec float64 `json:"converge_sec,omitempty"`
+	FinalLoss   float64 `json:"final_loss"`
+	// Fingerprint identifies the final weights + loss bit-exactly; a chaos
+	// survivor matches its solo run's fingerprint.
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	Plan        govern.Plan    `json:"plan"`
+	RungCounts  map[string]int `json:"rung_counts,omitempty"`
+	BudgetUnmet bool           `json:"budget_unmet,omitempty"`
+
+	Crashes      int `json:"crashes,omitempty"`
+	Restarts     int `json:"restarts,omitempty"`
+	StallsKilled int `json:"stalls_killed,omitempty"`
+	Retries      int `json:"retries,omitempty"`
+	Cancels      int `json:"cancels,omitempty"`
+	Leaves       int `json:"leaves,omitempty"`
+	Rejoins      int `json:"rejoins,omitempty"`
+	Trims        int `json:"trims,omitempty"`
+
+	Events []Event `json:"events,omitempty"`
+}
+
+// Totals aggregates chaos counts across the fleet.
+type Totals struct {
+	Crashes      int `json:"crashes"`
+	Restarts     int `json:"restarts"`
+	StallsKilled int `json:"stalls_killed"`
+	Retries      int `json:"retries"`
+	Cancels      int `json:"cancels"`
+	Leaves       int `json:"leaves"`
+	Rejoins      int `json:"rejoins"`
+}
+
+// ClassStats is the per-hardware-class breakdown.
+type ClassStats struct {
+	Class           string  `json:"class"`
+	Devices         int     `json:"devices"`
+	Converged       int     `json:"converged"`
+	BudgetUnmet     int     `json:"budget_unmet"`
+	Degradations    int     `json:"degradations"`
+	MeanConvergeSec float64 `json:"mean_converge_sec"`
+	MeanFinalLoss   float64 `json:"mean_final_loss"`
+}
+
+// Report is the full fleet-simulation outcome. All fields are pure
+// functions of (Config, per-device results), which are pure functions of
+// the config — so two runs with the same config marshal to the same bytes
+// at any GOMAXPROCS or worker count.
+type Report struct {
+	Devices    int     `json:"devices"`
+	Steps      int     `json:"steps"`
+	EpochSteps int     `json:"epoch_steps"`
+	Seed       int64   `json:"seed"`
+	Churn      float64 `json:"churn"`
+	FaultRate  float64 `json:"fault_rate"`
+
+	Converged int `json:"converged"`
+	Drained   int `json:"drained"`
+	Failed    int `json:"failed"`
+
+	Totals Totals `json:"totals"`
+
+	BudgetUnmet     int     `json:"budget_unmet"`
+	BudgetUnmetRate float64 `json:"budget_unmet_rate"`
+
+	RungCounts map[string]int `json:"rung_counts"`
+
+	P50ConvergeSec float64 `json:"p50_converge_sec"`
+	P99ConvergeSec float64 `json:"p99_converge_sec"`
+
+	Classes []ClassStats `json:"classes"`
+
+	DeviceResults []*DeviceResult `json:"device_results"`
+
+	// Events is the merged fleet timeline (Config.KeepEvents only).
+	Events []Event `json:"events,omitempty"`
+}
+
+// buildReport folds the per-device results (in fleet-slot order) into the
+// report.
+func buildReport(cfg Config, results []*DeviceResult) *Report {
+	rep := &Report{
+		Devices:    cfg.Devices,
+		Steps:      cfg.Steps,
+		EpochSteps: cfg.EpochSteps,
+		Seed:       cfg.Seed,
+		Churn:      cfg.Churn,
+		FaultRate:  cfg.FaultRate,
+		RungCounts: map[string]int{},
+	}
+	classes := map[string]*ClassStats{}
+	var convergeSecs []float64
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		rep.DeviceResults = append(rep.DeviceResults, r)
+		switch {
+		case r.Converged:
+			rep.Converged++
+			convergeSecs = append(convergeSecs, r.ConvergeSec)
+		case r.Drained:
+			rep.Drained++
+		default:
+			rep.Failed++
+		}
+		rep.Totals.Crashes += r.Crashes
+		rep.Totals.Restarts += r.Restarts
+		rep.Totals.StallsKilled += r.StallsKilled
+		rep.Totals.Retries += r.Retries
+		rep.Totals.Cancels += r.Cancels
+		rep.Totals.Leaves += r.Leaves
+		rep.Totals.Rejoins += r.Rejoins
+		if r.BudgetUnmet {
+			rep.BudgetUnmet++
+		}
+		degr := 0
+		for rung, n := range r.RungCounts {
+			rep.RungCounts[rung] += n
+			degr += n
+		}
+		cs := classes[r.Class]
+		if cs == nil {
+			cs = &ClassStats{Class: r.Class}
+			classes[r.Class] = cs
+		}
+		cs.Devices++
+		cs.Degradations += degr
+		if r.BudgetUnmet {
+			cs.BudgetUnmet++
+		}
+		if r.Converged {
+			cs.Converged++
+			cs.MeanConvergeSec += r.ConvergeSec
+			cs.MeanFinalLoss += r.FinalLoss
+		}
+		if cfg.KeepEvents {
+			rep.Events = append(rep.Events, r.Events...)
+		}
+	}
+	if n := len(rep.DeviceResults); n > 0 {
+		rep.BudgetUnmetRate = float64(rep.BudgetUnmet) / float64(n)
+	}
+	rep.P50ConvergeSec = percentile(convergeSecs, 0.50)
+	rep.P99ConvergeSec = percentile(convergeSecs, 0.99)
+	for _, cs := range classes {
+		if cs.Converged > 0 {
+			cs.MeanConvergeSec /= float64(cs.Converged)
+			cs.MeanFinalLoss /= float64(cs.Converged)
+		}
+		rep.Classes = append(rep.Classes, *cs)
+	}
+	sort.Slice(rep.Classes, func(i, j int) bool { return rep.Classes[i].Class < rep.Classes[j].Class })
+	if cfg.KeepEvents {
+		sort.Slice(rep.Events, func(i, j int) bool {
+			a, b := rep.Events[i], rep.Events[j]
+			if a.TSec != b.TSec {
+				return a.TSec < b.TSec
+			}
+			if a.Device != b.Device {
+				return a.Device < b.Device
+			}
+			return a.Seq < b.Seq
+		})
+	}
+	return rep
+}
+
+// percentile returns the nearest-rank q-quantile of xs (sorted copy).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// rungOrder fixes the degradation-rung rendering order to the ladder's.
+var rungOrder = []string{"shrink-window", "tighten-bits", "recompute", "halve-batch"}
+
+// String renders the human-readable fleet report. The output is a pure
+// function of the report, with map iteration pinned to fixed orders.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d devices seed %d steps %d (epoch %d) churn %.2f fault %.2f\n",
+		r.Devices, r.Seed, r.Steps, r.EpochSteps, r.Churn, r.FaultRate)
+	fmt.Fprintf(&b, "  outcome: %d converged, %d drained, %d failed\n",
+		r.Converged, r.Drained, r.Failed)
+	t := r.Totals
+	fmt.Fprintf(&b, "  chaos: %d crashes, %d stalls killed, %d retries, %d cancels, %d restarts\n",
+		t.Crashes, t.StallsKilled, t.Retries, t.Cancels, t.Restarts)
+	fmt.Fprintf(&b, "  churn: %d leaves, %d rejoins\n", t.Leaves, t.Rejoins)
+	fmt.Fprintf(&b, "  budget: %d/%d devices at unmet floor (%.1f%%)\n",
+		r.BudgetUnmet, r.Devices, 100*r.BudgetUnmetRate)
+	b.WriteString("  degradation:")
+	any := false
+	for _, rung := range rungOrder {
+		if n := r.RungCounts[rung]; n > 0 {
+			fmt.Fprintf(&b, " %s %d", rung, n)
+			any = true
+		}
+	}
+	if !any {
+		b.WriteString(" none")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  converge: p50 %.1fs  p99 %.1fs (virtual)\n",
+		r.P50ConvergeSec, r.P99ConvergeSec)
+	if len(r.Classes) > 0 {
+		b.WriteString("  classes:\n")
+		for _, c := range r.Classes {
+			fmt.Fprintf(&b, "    %-18s %3d devices, %3d converged, %2d unmet, %3d degradations, mean %.1fs, loss %.4f\n",
+				c.Class, c.Devices, c.Converged, c.BudgetUnmet, c.Degradations,
+				c.MeanConvergeSec, c.MeanFinalLoss)
+		}
+	}
+	return b.String()
+}

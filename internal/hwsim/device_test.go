@@ -1,0 +1,38 @@
+package hwsim
+
+import "testing"
+
+// Scaled must multiply only the throughput fields, leave the original
+// untouched, and ignore non-positive factors.
+func TestDeviceScaled(t *testing.T) {
+	base := EdgeGPU()
+	s := base.Scaled(1.5, 0.5)
+	if s.PeakFLOPS != base.PeakFLOPS*1.5 {
+		t.Fatalf("PeakFLOPS = %g, want %g", s.PeakFLOPS, base.PeakFLOPS*1.5)
+	}
+	if s.DRAMBandwidth != base.DRAMBandwidth*0.5 {
+		t.Fatalf("DRAMBandwidth = %g, want %g", s.DRAMBandwidth, base.DRAMBandwidth*0.5)
+	}
+	if s.Name != base.Name || s.SMs != base.SMs || s.SRAMBytes != base.SRAMBytes {
+		t.Fatal("Scaled must not change identity or on-chip fields")
+	}
+	if got := EdgeGPU(); got.PeakFLOPS != base.PeakFLOPS {
+		t.Fatal("Scaled mutated the receiver")
+	}
+	untouched := base.Scaled(0, -1)
+	if untouched.PeakFLOPS != base.PeakFLOPS || untouched.DRAMBandwidth != base.DRAMBandwidth {
+		t.Fatal("non-positive factors must leave fields unchanged")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled device invalid: %v", err)
+	}
+	// A slower device must model a strictly slower iteration.
+	slow := base.Scaled(0.5, 0.5)
+	spec := VanillaIteration(tinyCfg(2), 4, 8)
+	fastCost := IterationCost(base, NewSearchedScheduler(), spec)
+	slowCost := IterationCost(slow, NewSearchedScheduler(), spec)
+	if slowCost.TotalSec <= fastCost.TotalSec {
+		t.Fatalf("half-speed device iteration %.3gs not slower than base %.3gs",
+			slowCost.TotalSec, fastCost.TotalSec)
+	}
+}

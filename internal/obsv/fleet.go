@@ -1,0 +1,64 @@
+package obsv
+
+import "time"
+
+// KindFleet is the JSONL kind of a fleet-simulation record (one per
+// `edgellm fleet` run when metrics are enabled).
+const KindFleet = "fleet"
+
+// FleetRecord is the metrics-stream summary of one fleet simulation: the
+// scale knobs, the chaos totals, and the headline convergence percentiles.
+// The full per-device report lives in the fleet report JSON; this record
+// exists so a metrics file is self-describing about the fleet run that
+// produced it and so `telemetry summary` can surface fleet outcomes next
+// to the counters.
+type FleetRecord struct {
+	// Devices is the fleet size; Seed, Churn, and FaultRate are the
+	// simulation knobs.
+	Devices   int     `json:"devices"`
+	Seed      int64   `json:"seed"`
+	Churn     float64 `json:"churn,omitempty"`
+	FaultRate float64 `json:"fault_rate,omitempty"`
+
+	// Converged counts devices that completed their step budget; Drained
+	// counts devices stopped early by cancellation; Failed counts devices
+	// that ended with an error.
+	Converged int `json:"converged"`
+	Drained   int `json:"drained,omitempty"`
+	Failed    int `json:"failed,omitempty"`
+
+	// Chaos totals across the fleet.
+	Crashes      int `json:"crashes,omitempty"`
+	Restarts     int `json:"restarts,omitempty"`
+	StallsKilled int `json:"stalls_killed,omitempty"`
+	Retries      int `json:"retries,omitempty"`
+	Cancels      int `json:"cancels,omitempty"`
+	Leaves       int `json:"leaves,omitempty"`
+	Rejoins      int `json:"rejoins,omitempty"`
+
+	// BudgetUnmet counts devices whose degradation-ladder floor still
+	// exceeded their budget; RungCounts histograms every ladder decision
+	// across the fleet, keyed by rung name.
+	BudgetUnmet int            `json:"budget_unmet,omitempty"`
+	RungCounts  map[string]int `json:"rung_counts,omitempty"`
+
+	// P50/P99ConvergeSec are virtual-clock convergence percentiles over
+	// converged devices.
+	P50ConvergeSec float64 `json:"p50_converge_sec,omitempty"`
+	P99ConvergeSec float64 `json:"p99_converge_sec,omitempty"`
+}
+
+// EmitFleet writes the fleet record to the metrics stream (one JSONL line,
+// kind "fleet"). Nil-safe; a no-op without an emitter.
+func (r *Recorder) EmitFleet(f FleetRecord) {
+	if r == nil {
+		return
+	}
+	if e := r.emitter.Load(); e != nil {
+		e.Emit(Event{
+			TimeUnixNano: time.Now().UnixNano(),
+			Kind:         KindFleet,
+			Fleet:        &f,
+		})
+	}
+}

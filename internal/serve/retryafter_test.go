@@ -1,0 +1,29 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// retryAfterSeconds must round up: a sub-second Retry-After config still
+// asks clients to wait a full second, and exact multiples stay exact.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Nanosecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2500 * time.Millisecond, 3},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%s) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

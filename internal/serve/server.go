@@ -178,6 +178,13 @@ type errorResponse struct {
 // access-log line.
 const requestIDHeader = "X-Edgellm-Request-Id"
 
+// retryAfterSeconds rounds a Retry-After duration up to whole seconds, so
+// sub-second configurations still tell clients to wait at least one second
+// rather than hammering the server with an immediate retry.
+func retryAfterSeconds(d time.Duration) int {
+	return int((d + time.Second - 1) / time.Second)
+}
+
 // writeError emits the uniform JSON error shape, echoing the request ID and
 // attaching Retry-After on the shed/drain statuses where a retry can help.
 func (s *Server) writeError(w http.ResponseWriter, status int, id, code string, err error) {
@@ -186,7 +193,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, id, code string, 
 		w.Header().Set(requestIDHeader, id)
 	}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorResponse{ID: id, Error: err.Error(), Code: code})
@@ -789,7 +796,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Distinct body from the overload 503s: black-box probes tell a
 		// deliberate drain ({"status":"draining"}) from shedding (an
 		// errorResponse with code "overloaded"/"draining") at a glance.
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"status":"draining"}`)
 		return

@@ -3,6 +3,8 @@ package tensor
 import (
 	"sync"
 	"sync/atomic"
+
+	"edgellm/internal/obsv"
 )
 
 // Pool is a size-keyed arena of tensor buffers. Training allocates the same
@@ -21,9 +23,11 @@ type Pool struct {
 	mu   sync.Mutex
 	free map[int][]*Tensor
 
-	hits       atomic.Int64
-	misses     atomic.Int64
-	bytesInUse atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	bytesInUse   atomic.Int64
+	trims        atomic.Int64
+	trimmedBytes atomic.Int64
 }
 
 // PoolStats is a snapshot of a pool's counters.
@@ -36,6 +40,11 @@ type PoolStats struct {
 	// returned. Buffers the caller drops on the floor (letting the GC
 	// reclaim them instead of calling Put) stay counted here.
 	BytesInUse int64
+	// Trims counts Trim calls; TrimmedBytes is the cumulative data bytes
+	// those calls released to the garbage collector.
+	Trims int64
+	// TrimmedBytes is the total bytes freed across all Trim calls.
+	TrimmedBytes int64
 }
 
 // NewPool returns an empty pool.
@@ -110,11 +119,17 @@ func (p *Pool) Trim() int64 {
 		return 0
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	var freed int64
 	for n, list := range p.free {
 		freed += int64(n) * 4 * int64(len(list))
 		delete(p.free, n)
+	}
+	p.mu.Unlock()
+	p.trims.Add(1)
+	p.trimmedBytes.Add(freed)
+	obsv.Add("tensor.pool_trims", 1)
+	if freed > 0 {
+		obsv.Observe("tensor.pool_trimmed_bytes", float64(freed))
 	}
 	return freed
 }
@@ -125,8 +140,10 @@ func (p *Pool) Stats() PoolStats {
 		return PoolStats{}
 	}
 	return PoolStats{
-		Hits:       p.hits.Load(),
-		Misses:     p.misses.Load(),
-		BytesInUse: p.bytesInUse.Load(),
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		BytesInUse:   p.bytesInUse.Load(),
+		Trims:        p.trims.Load(),
+		TrimmedBytes: p.trimmedBytes.Load(),
 	}
 }

@@ -3,6 +3,8 @@ package tensor
 import (
 	"sync"
 	"testing"
+
+	"edgellm/internal/obsv"
 )
 
 func TestPoolGetReturnsZeroedReusedBuffer(t *testing.T) {
@@ -121,5 +123,30 @@ func TestPoolTrim(t *testing.T) {
 	var nilPool *Pool
 	if nilPool.Trim() != 0 {
 		t.Fatal("nil pool Trim must be a no-op")
+	}
+}
+
+// TestPoolTrimStats verifies Trim maintains its counters and mirrors them
+// to tensor.pool_trims telemetry when a recorder is installed.
+func TestPoolTrimStats(t *testing.T) {
+	rec := obsv.New()
+	obsv.SetGlobal(rec)
+	defer obsv.SetGlobal(nil)
+
+	p := NewPool()
+	b := p.Get(8, 8) // 256 bytes
+	p.Put(b)
+	p.Trim()
+	p.Trim() // nothing parked: still counted as a trim, frees 0
+
+	st := p.Stats()
+	if st.Trims != 2 {
+		t.Fatalf("Trims = %d, want 2", st.Trims)
+	}
+	if st.TrimmedBytes != 256 {
+		t.Fatalf("TrimmedBytes = %d, want 256", st.TrimmedBytes)
+	}
+	if got := rec.CounterTotal("tensor.pool_trims"); got != 2 {
+		t.Fatalf("tensor.pool_trims counter = %d, want 2", got)
 	}
 }
